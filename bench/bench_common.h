@@ -1,0 +1,161 @@
+// Shared scaffolding for the figure-reproduction benchmarks.
+//
+// Every bench binary regenerates one table/figure of the paper. The control
+// variable is offered CPU load (clients relative to hardware contexts,
+// §5.2); scales and durations default to CI-friendly values and can be
+// raised via environment variables:
+//   DORADB_BENCH_MS       per-point measurement window (default 700 ms)
+//   DORADB_TM1_SUBS       TM1 subscribers            (default 20000)
+//   DORADB_TPCB_BRANCHES  TPC-B branches             (default 8)
+//   DORADB_TPCC_WH        TPC-C warehouses           (default 4)
+//   DORADB_MAX_MULT       max clients as multiple of cores (default 4)
+
+#ifndef DORADB_BENCH_BENCH_COMMON_H_
+#define DORADB_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dora/dora_engine.h"
+#include "engine/database.h"
+#include "util/thread_pool.h"
+#include "workloads/common/driver.h"
+#include "workloads/tm1/tm1.h"
+#include "workloads/tpcb/tpcb.h"
+#include "workloads/tpcc/tpcc.h"
+
+namespace doradb {
+namespace bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtoull(v, nullptr, 10);
+}
+
+inline uint64_t BenchMs() { return EnvU64("DORADB_BENCH_MS", 700); }
+
+// Ladder of client counts expressed as offered-load steps up to
+// DORADB_MAX_MULT x the hardware contexts (the >100% region reproduces the
+// paper's overload behaviour, Fig. 6).
+inline std::vector<uint32_t> ClientLadder() {
+  const uint32_t hw = HardwareContexts();
+  const uint32_t max_mult =
+      static_cast<uint32_t>(EnvU64("DORADB_MAX_MULT", 4));
+  std::vector<uint32_t> out;
+  for (uint32_t c = 1; c < hw; c *= 2) out.push_back(c);
+  for (uint32_t m = 1; m <= max_mult; m *= 2) out.push_back(hw * m);
+  return out;
+}
+
+inline Database::Options DbOptions() {
+  Database::Options o;
+  o.buffer_frames = 1 << 15;  // 256 MiB
+  o.lock.wait_timeout_us = 1000000;
+  return o;
+}
+
+// A fully-loaded workload with its own database and started DORA engine.
+template <typename W>
+struct Rig {
+  std::unique_ptr<Database> db;
+  std::unique_ptr<W> workload;
+  std::unique_ptr<dora::DoraEngine> engine;
+
+  Rig() = default;
+  Rig(Rig&&) = default;
+  Rig& operator=(Rig&&) = default;
+  ~Rig() {
+    if (engine != nullptr) engine->Stop();
+  }
+};
+
+inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 1,
+                                     bool trace = false) {
+  Rig<tm1::Tm1Workload> rig;
+  rig.db = std::make_unique<Database>(DbOptions());
+  tm1::Tm1Workload::Config cfg;
+  cfg.subscribers = EnvU64("DORADB_TM1_SUBS", 20000);
+  cfg.executors_per_table = executors_per_table;
+  cfg.trace_subscriber_accesses = trace;
+  rig.workload = std::make_unique<tm1::Tm1Workload>(rig.db.get(), cfg);
+  Status s = rig.workload->Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "TM1 load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.workload->SetupDora(rig.engine.get());
+  rig.engine->Start();
+  return rig;
+}
+
+inline Rig<tpcb::TpcbWorkload> MakeTpcb() {
+  Rig<tpcb::TpcbWorkload> rig;
+  rig.db = std::make_unique<Database>(DbOptions());
+  tpcb::TpcbWorkload::Config cfg;
+  cfg.branches = EnvU64("DORADB_TPCB_BRANCHES", 8);
+  cfg.accounts_per_branch = 2000;
+  rig.workload = std::make_unique<tpcb::TpcbWorkload>(rig.db.get(), cfg);
+  Status s = rig.workload->Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "TPC-B load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.workload->SetupDora(rig.engine.get());
+  rig.engine->Start();
+  return rig;
+}
+
+inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,
+                                        uint32_t executors_per_table = 1,
+                                        bool trace = false) {
+  Rig<tpcc::TpccWorkload> rig;
+  rig.db = std::make_unique<Database>(DbOptions());
+  tpcc::TpccWorkload::Config cfg;
+  cfg.warehouses = warehouses != 0
+                       ? warehouses
+                       : static_cast<uint32_t>(EnvU64("DORADB_TPCC_WH", 4));
+  cfg.customers_per_district = 300;
+  cfg.items = 1000;
+  cfg.executors_per_table = executors_per_table;
+  cfg.trace_district_accesses = trace;
+  rig.workload = std::make_unique<tpcc::TpccWorkload>(rig.db.get(), cfg);
+  Status s = rig.workload->Load();
+  if (!s.ok()) {
+    std::fprintf(stderr, "TPC-C load failed: %s\n", s.ToString().c_str());
+    std::abort();
+  }
+  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.workload->SetupDora(rig.engine.get());
+  rig.engine->Start();
+  return rig;
+}
+
+inline BenchConfig MakeConfig(EngineKind kind, dora::DoraEngine* engine,
+                              uint32_t clients, int txn_type = -1) {
+  BenchConfig cfg;
+  cfg.engine = kind;
+  cfg.dora_engine = engine;
+  cfg.num_clients = clients;
+  cfg.duration_ms = BenchMs();
+  cfg.warmup_ms = BenchMs() / 4;
+  cfg.txn_type = txn_type;
+  return cfg;
+}
+
+inline void PrintHeader(const char* fig, const char* desc) {
+  std::printf("=============================================================\n");
+  std::printf("%s — %s\n", fig, desc);
+  std::printf("hardware contexts: %u | window: %lu ms\n", HardwareContexts(),
+              static_cast<unsigned long>(BenchMs()));
+  std::printf("=============================================================\n");
+}
+
+}  // namespace bench
+}  // namespace doradb
+
+#endif  // DORADB_BENCH_BENCH_COMMON_H_

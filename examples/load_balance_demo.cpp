@@ -1,0 +1,88 @@
+// Load-balancing demo (paper §A.2.1): skewed clients hammer one slice of
+// the TM1 subscriber space; the resource manager observes the imbalance and
+// re-partitions the routing rule at runtime using the drain-then-install
+// system-action protocol — while transactions keep flowing.
+//
+//   $ ./build/examples/load_balance_demo
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "dora/resource_manager.h"
+#include "workloads/tm1/tm1.h"
+
+using namespace doradb;
+
+int main() {
+  Database db;
+  tm1::Tm1Workload::Config cfg;
+  cfg.subscribers = 10000;
+  cfg.executors_per_table = 2;
+  tm1::Tm1Workload workload(&db, cfg);
+  if (!workload.Load().ok()) return 1;
+
+  dora::DoraEngine engine(&db);
+  workload.SetupDora(&engine);
+  engine.Start();
+
+  const TableId sub = workload.schema().subscriber;
+  auto print_rule = [&](const char* when) {
+    auto rule = engine.routing_of(sub)->Current();
+    std::printf("%s: subscriber routing boundary = %lu (executor 0 owns "
+                "[0, %lu), executor 1 the rest)\n",
+                when,
+                static_cast<unsigned long>(
+                    rule->boundaries.empty() ? 0 : rule->boundaries[0]),
+                static_cast<unsigned long>(
+                    rule->boundaries.empty() ? 0 : rule->boundaries[0]));
+  };
+  print_rule("initial");
+
+  dora::ResourceManager::Options rm_opts;
+  rm_opts.sample_interval_us = 100000;
+  rm_opts.imbalance_threshold = 1.5;
+  dora::ResourceManager rm(&engine, rm_opts);
+  rm.Start();
+
+  // Skewed load: every access in the top 10% of the id space (executor 1).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> done{0};
+  std::thread client([&] {
+    Rng rng(99);
+    while (!stop.load()) {
+      const uint64_t s_id = rng.UniformInt(cfg.subscribers * 9 / 10 + 1,
+                                           cfg.subscribers);
+      auto dtxn = engine.BeginTxn();
+      dora::FlowGraph g;
+      g.AddPhase().AddAction(
+          sub, s_id, dora::LocalMode::kS, [&, s_id](dora::ActionEnv& env) {
+            IndexEntry e;
+            KeyBuilder kb;
+            kb.Add64(s_id);
+            DORADB_RETURN_NOT_OK(
+                db.catalog()->Index(workload.schema().sub_pk)->Probe(
+                    kb.View(), &e));
+            std::string bytes;
+            return env.db->Read(env.txn, sub, e.rid, &bytes,
+                                AccessOptions::NoCc());
+          });
+      if (engine.Run(dtxn, std::move(g)).ok()) done.fetch_add(1);
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::seconds(2));
+  stop = true;
+  client.join();
+  rm.Stop();
+
+  print_rule("after skewed load");
+  std::printf("transactions executed: %lu | rebalances performed: %lu\n",
+              static_cast<unsigned long>(done.load()),
+              static_cast<unsigned long>(rm.rebalances()));
+  std::printf("expected: the boundary moved toward the hot region so the\n"
+              "overloaded executor's dataset shrank (§A.2.1), with zero\n"
+              "failed transactions during the handover.\n");
+  engine.Stop();
+  return 0;
+}

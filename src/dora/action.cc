@@ -1,0 +1,18 @@
+#include "dora/action.h"
+
+namespace doradb {
+namespace dora {
+
+FlowGraph FlowGraph::Serialized() && {
+  FlowGraph out;
+  for (auto& phase : phases_) {
+    for (auto& spec : phase) {
+      out.AddPhase();
+      out.phases_.back().push_back(std::move(spec));
+    }
+  }
+  return out;
+}
+
+}  // namespace dora
+}  // namespace doradb

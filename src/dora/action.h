@@ -1,0 +1,179 @@
+// DORA actions, rendezvous points (RVPs), transaction flow graphs, and the
+// per-transaction execution context (paper §4.1.2-4.1.3).
+//
+// An action is "a subset of a transaction's code which involves access to a
+// single or a small set of records from the same table"; its identifier is
+// the routing-field value(s) of the records it intends to access. RVPs
+// separate a transaction into phases; actions of different phases never run
+// concurrently.
+
+#ifndef DORADB_DORA_ACTION_H_
+#define DORADB_DORA_ACTION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/database.h"
+#include "txn/transaction.h"
+#include "util/status.h"
+
+namespace doradb {
+namespace dora {
+
+class Executor;
+class DoraEngine;
+class DoraTxn;
+
+// Thread-local lock modes: DORA needs only shared/exclusive (§4.1.3).
+enum class LocalMode : uint8_t { kS = 0, kX = 1 };
+
+// Environment handed to an action body, executing on an executor thread.
+struct ActionEnv {
+  Database* db;
+  Transaction* txn;
+  DoraTxn* dtxn;
+  Executor* self;
+};
+
+using ActionBody = std::function<Status(ActionEnv&)>;
+
+// A unit of work routed to the executor owning the dataset it touches.
+struct Action {
+  DoraTxn* dtxn = nullptr;
+  TableId table = 0;
+  uint64_t routing_value = 0;  // action identifier (single routing field)
+  bool whole_dataset = false;  // empty-identifier action: dataset-wide lock
+  LocalMode mode = LocalMode::kS;
+  ActionBody body;
+  size_t phase = 0;
+  Executor* owner = nullptr;   // executor it was dispatched to
+  uint64_t parked_at = 0;      // cycle timestamp when parked (0 = never)
+};
+
+// Rendezvous point: counts down as the actions of its phase complete; the
+// zeroing executor initiates the next phase (or commit/abort, §4.1.3).
+struct Rvp {
+  std::atomic<int32_t> remaining{0};
+};
+
+// Declarative transaction flow graph, built by the dispatcher. Phases run
+// in order; actions within a phase run in parallel on their executors.
+class FlowGraph {
+ public:
+  FlowGraph() = default;
+
+  FlowGraph& AddPhase() {
+    phases_.emplace_back();
+    return *this;
+  }
+
+  // Add an action to the last phase.
+  FlowGraph& AddAction(TableId table, uint64_t routing_value, LocalMode mode,
+                       ActionBody body) {
+    phases_.back().push_back(
+        ActionSpec{table, routing_value, false, mode, std::move(body)});
+    return *this;
+  }
+
+  // Dataset-wide action (identifier = empty set): conflicts with every
+  // action on the executor's datasets.
+  FlowGraph& AddWholeDatasetAction(TableId table, uint32_t executor_index,
+                                   LocalMode mode, ActionBody body) {
+    phases_.back().push_back(ActionSpec{table, executor_index, true, mode,
+                                        std::move(body)});
+    return *this;
+  }
+
+  struct ActionSpec {
+    TableId table;
+    uint64_t routing_value;
+    bool whole_dataset;
+    LocalMode mode;
+    ActionBody body;
+  };
+
+  const std::vector<std::vector<ActionSpec>>& phases() const {
+    return phases_;
+  }
+  std::vector<std::vector<ActionSpec>>& phases() { return phases_; }
+  size_t num_actions() const {
+    size_t n = 0;
+    for (const auto& p : phases_) n += p.size();
+    return n;
+  }
+
+  // §A.4: derive the serial plan — each action in its own phase, in order.
+  // The resource manager switches high-abort transactions to this plan
+  // ("inserting empty rendezvous points between actions of the same phase").
+  FlowGraph Serialized() &&;
+
+ private:
+  std::vector<std::vector<ActionSpec>> phases_;
+};
+
+// Per-transaction execution context shared by dispatcher and executors.
+class DoraTxn {
+ public:
+  DoraTxn(Database* db, std::unique_ptr<Transaction> txn)
+      : db_(db), txn_(std::move(txn)) {}
+
+  Database* db() { return db_; }
+  Transaction* txn() { return txn_.get(); }
+
+  bool aborted() const { return aborted_.load(std::memory_order_acquire); }
+  void MarkAborted(const Status& why) {
+    bool expected = false;
+    if (aborted_.compare_exchange_strong(expected, true,
+                                         std::memory_order_acq_rel)) {
+      std::lock_guard<std::mutex> g(mu_);
+      abort_reason_ = why;
+    }
+  }
+  Status abort_reason() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return abort_reason_;
+  }
+
+  // Dispatcher blocks here (closed loop) until the terminal RVP finishes.
+  Status Wait() {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return done_; });
+    return result_;
+  }
+  void Complete(Status result) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      result_ = std::move(result);
+      done_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  // Materialized graph state (owned by the txn context).
+  std::vector<std::unique_ptr<Action>> actions;
+  std::vector<std::unique_ptr<Rvp>> rvps;           // one per phase
+  std::vector<std::vector<Action*>> phase_actions;  // per phase
+
+  size_t num_phases() const { return phase_actions.size(); }
+
+ private:
+  Database* const db_;
+  std::unique_ptr<Transaction> txn_;
+  std::atomic<bool> aborted_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool done_ = false;
+  Status result_;
+  Status abort_reason_;
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_ACTION_H_

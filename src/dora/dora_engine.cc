@@ -1,0 +1,263 @@
+#include "dora/dora_engine.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace doradb {
+namespace dora {
+
+DoraEngine::DoraEngine(Database* db, Options options)
+    : db_(db), options_(options) {}
+
+DoraEngine::~DoraEngine() { Stop(); }
+
+void DoraEngine::RegisterTable(TableId table, uint64_t key_space,
+                               uint32_t executors) {
+  assert(!started_);
+  auto group = std::make_unique<TableGroup>();
+  group->table = table;
+  group->key_space = key_space;
+  group->routing.Install(RoutingRule::Uniform(key_space, executors));
+  for (uint32_t i = 0; i < executors; ++i) {
+    group->executors.push_back(std::make_unique<Executor>(
+        this, db_, table, i, next_global_index_++));
+  }
+  tables_[table] = std::move(group);
+}
+
+void DoraEngine::Start() {
+  assert(!started_);
+  started_ = true;
+  if (options_.hold_table_locks) {
+    // §4.1.3: executors implicitly hold a table IX lock across
+    // transactions — modeled by one long-lived system transaction, so
+    // client transactions never touch the table locks.
+    system_txn_ = db_->Begin();
+    for (auto& [table, group] : tables_) {
+      (void)db_->lock_manager()->LockTable(system_txn_.get(), table,
+                                           LockMode::kIX);
+    }
+  }
+  for (auto& [table, group] : tables_) {
+    for (auto& e : group->executors) e->Start();
+  }
+}
+
+void DoraEngine::Stop() {
+  if (!started_) return;
+  for (auto& [table, group] : tables_) {
+    for (auto& e : group->executors) e->Stop();
+  }
+  if (system_txn_ != nullptr) {
+    (void)db_->Commit(system_txn_.get());
+    system_txn_.reset();
+  }
+  started_ = false;
+}
+
+std::shared_ptr<DoraTxn> DoraEngine::BeginTxn() {
+  auto dtxn = std::make_shared<DoraTxn>(db_, db_->Begin());
+  {
+    std::lock_guard<std::mutex> g(reg_mu_);
+    live_[dtxn.get()] = dtxn;
+  }
+  return dtxn;
+}
+
+Status DoraEngine::Run(const std::shared_ptr<DoraTxn>& dtxn,
+                       FlowGraph&& graph) {
+  // Materialize the flow graph into actions + RVPs owned by the txn.
+  auto& phases = graph.phases();
+  if (phases.empty() || graph.num_actions() == 0) {
+    const Status s = db_->Commit(dtxn->txn());
+    {
+      std::lock_guard<std::mutex> g(reg_mu_);
+      live_.erase(dtxn.get());
+    }
+    dtxn->Complete(s);
+    return s;
+  }
+  dtxn->phase_actions.resize(phases.size());
+  for (size_t p = 0; p < phases.size(); ++p) {
+    auto rvp = std::make_unique<Rvp>();
+    rvp->remaining.store(static_cast<int32_t>(phases[p].size()),
+                         std::memory_order_relaxed);
+    dtxn->rvps.push_back(std::move(rvp));
+    for (auto& spec : phases[p]) {
+      auto action = std::make_unique<Action>();
+      action->dtxn = dtxn.get();
+      action->table = spec.table;
+      action->routing_value = spec.routing_value;
+      action->whole_dataset = spec.whole_dataset;
+      action->mode = spec.mode;
+      action->body = std::move(spec.body);
+      action->phase = p;
+      dtxn->phase_actions[p].push_back(action.get());
+      dtxn->actions.push_back(std::move(action));
+    }
+  }
+  DispatchPhase(dtxn.get(), 0);
+  return dtxn->Wait();
+}
+
+uint32_t DoraEngine::RouteIndex(TableId table, uint64_t routing_value) const {
+  auto it = tables_.find(table);
+  assert(it != tables_.end());
+  return it->second->routing.Route(routing_value);
+}
+
+Executor* DoraEngine::RouteToExecutor(TableId table,
+                                      uint64_t routing_value) const {
+  auto it = tables_.find(table);
+  assert(it != tables_.end());
+  const uint32_t idx = it->second->routing.Route(routing_value);
+  return it->second->executors[idx].get();
+}
+
+Executor* DoraEngine::ExecutorAt(TableId table, uint32_t index) const {
+  auto it = tables_.find(table);
+  assert(it != tables_.end());
+  return it->second->executors[index % it->second->executors.size()].get();
+}
+
+uint32_t DoraEngine::executors_of(TableId table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end()
+             ? 0
+             : static_cast<uint32_t>(it->second->executors.size());
+}
+
+const RoutingTable* DoraEngine::routing_of(TableId table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second->routing;
+}
+
+uint64_t DoraEngine::key_space_of(TableId table) const {
+  auto it = tables_.find(table);
+  return it == tables_.end() ? 0 : it->second->key_space;
+}
+
+void DoraEngine::DispatchPhase(DoraTxn* dtxn, size_t phase) {
+  ScopedTimeClass timer(TimeClass::kDoraQueue);
+  auto& actions = dtxn->phase_actions[phase];
+  for (Action* a : actions) {
+    a->owner = a->whole_dataset
+                   ? ExecutorAt(a->table,
+                                static_cast<uint32_t>(a->routing_value))
+                   : RouteToExecutor(a->table, a->routing_value);
+  }
+  // Atomic multi-queue enqueue (§4.2.3): latch every target queue in the
+  // strict global executor order, publish all actions, then unlatch. Two
+  // transactions with the same flow graph can therefore never interleave
+  // their submissions, which (with FIFO queues and commit-held local locks)
+  // rules out deadlocks between them.
+  std::vector<Executor*> targets;
+  for (Action* a : actions) targets.push_back(a->owner);
+  std::sort(targets.begin(), targets.end(),
+            [](const Executor* a, const Executor* b) {
+              return a->global_index() < b->global_index();
+            });
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (Executor* e : targets) e->queue_mutex().lock();
+  for (Action* a : actions) a->owner->EnqueueIncomingLocked(a);
+  for (auto it = targets.rbegin(); it != targets.rend(); ++it) {
+    (*it)->queue_mutex().unlock();
+  }
+  for (Executor* e : targets) e->Notify();
+}
+
+void DoraEngine::Redispatch(Action* a) {
+  ScopedTimeClass timer(TimeClass::kDoraQueue);
+  Executor* owner = RouteToExecutor(a->table, a->routing_value);
+  a->owner = owner;
+  {
+    std::lock_guard<std::mutex> g(owner->queue_mutex());
+    owner->EnqueueIncomingLocked(a);
+  }
+  owner->Notify();
+}
+
+void DoraEngine::FinishTxn(DoraTxn* dtxn) {
+  Status final_status;
+  if (dtxn->aborted()) {
+    (void)db_->Abort(dtxn->txn());
+    final_status = dtxn->abort_reason();
+    if (final_status.ok()) final_status = Status::Aborted();
+    aborted_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    final_status = db_->Commit(dtxn->txn());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Completion fan-out (§A.1 steps 10-12): hand the committed/aborted txn
+  // id back to every executor that ran one of its actions so they release
+  // their thread-local locks. The shared_ptr keeps the txn context alive
+  // until the last completion message is drained.
+  std::shared_ptr<DoraTxn> sp;
+  {
+    std::lock_guard<std::mutex> g(reg_mu_);
+    auto it = live_.find(dtxn);
+    if (it != live_.end()) {
+      sp = it->second;
+      live_.erase(it);
+    }
+  }
+  if (sp != nullptr) {
+    std::vector<Executor*> owners;
+    for (const auto& a : dtxn->actions) {
+      if (a->owner != nullptr) owners.push_back(a->owner);
+    }
+    std::sort(owners.begin(), owners.end());
+    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+    for (Executor* e : owners) e->EnqueueCompleted(sp);
+  }
+  dtxn->Complete(std::move(final_status));
+}
+
+Status DoraEngine::Rebalance(TableId table,
+                             std::shared_ptr<const RoutingRule> rule) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::InvalidArgument("unknown table");
+  TableGroup* group = it->second.get();
+  if (rule->executor_of_dataset.empty() ||
+      *std::max_element(rule->executor_of_dataset.begin(),
+                        rule->executor_of_dataset.end()) >=
+          group->executors.size()) {
+    return Status::InvalidArgument("rule references unknown executor");
+  }
+  // §A.2.1 via system actions: phase 1 takes a whole-dataset X lock on
+  // every executor of the table (granted only once each has drained its
+  // in-flight actions — FIFO queues + commit-held locks make the whole-
+  // dataset grant the drain barrier); phase 2 installs the new rule while
+  // all executors are still locked out.
+  auto dtxn = BeginTxn();
+  FlowGraph g;
+  g.AddPhase();
+  const uint32_t n = static_cast<uint32_t>(group->executors.size());
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddWholeDatasetAction(table, i, LocalMode::kX,
+                            [](ActionEnv&) { return Status::OK(); });
+  }
+  g.AddPhase();
+  g.AddWholeDatasetAction(table, 0, LocalMode::kX,
+                          [group, rule](ActionEnv&) {
+                            group->routing.Install(rule);
+                            return Status::OK();
+                          });
+  return Run(dtxn, std::move(g));
+}
+
+std::vector<Executor*> DoraEngine::AllExecutors() const {
+  std::vector<Executor*> out;
+  for (const auto& [table, group] : tables_) {
+    for (const auto& e : group->executors) out.push_back(e.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Executor* a, const Executor* b) {
+              return a->global_index() < b->global_index();
+            });
+  return out;
+}
+
+}  // namespace dora
+}  // namespace doradb

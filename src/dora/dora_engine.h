@@ -1,0 +1,141 @@
+// DoraEngine: the data-oriented transaction execution engine (paper §4).
+//
+// Couples worker threads (executors) to disjoint datasets via per-table
+// routing rules, decomposes transactions into flow graphs of actions, and
+// executes them with thread-local locking. Built as a layer over the
+// conventional storage manager (engine::Database), exactly as the paper's
+// prototype is layered over Shore-MT (§4.3).
+//
+// Usage:
+//   DoraEngine engine(&db, options);
+//   engine.RegisterTable(warehouse_tid, /*key_space=*/W, /*executors=*/2);
+//   ...
+//   engine.Start();
+//   auto dtxn = engine.BeginTxn();
+//   FlowGraph g; ...build phases/actions...
+//   Status s = engine.Run(dtxn, std::move(g));   // blocks (closed loop)
+
+#ifndef DORADB_DORA_DORA_ENGINE_H_
+#define DORADB_DORA_DORA_ENGINE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dora/action.h"
+#include "dora/executor.h"
+#include "dora/routing.h"
+
+namespace doradb {
+namespace dora {
+
+class DoraEngine {
+ public:
+  struct Options {
+    bool bind_cores = false;   // pin executors round-robin to cores
+    bool hold_table_locks = true;  // executors hold table IX across txns
+    // Parked actions older than this are expired and their transactions
+    // aborted with kDeadlock — the local-lock deadlock resolution the
+    // paper requires the storage manager to support (§4.2.3). Local locks
+    // are held only until commit, normally sub-millisecond; the margin
+    // absorbs scheduling hiccups on oversubscribed hosts.
+    uint64_t local_wait_timeout_us = 150000;
+  };
+
+  DoraEngine(Database* db, Options options);
+  DoraEngine(Database* db) : DoraEngine(db, Options()) {}
+  ~DoraEngine();
+  DoraEngine(const DoraEngine&) = delete;
+  DoraEngine& operator=(const DoraEngine&) = delete;
+
+  // Declare a table and its executor group. Must precede Start().
+  // `key_space` is the routing-field domain size (used for the initial
+  // uniform partitioning).
+  void RegisterTable(TableId table, uint64_t key_space, uint32_t executors);
+
+  void Start();
+  void Stop();
+
+  Database* db() { return db_; }
+
+  // --- transaction execution (dispatcher side) ---
+
+  std::shared_ptr<DoraTxn> BeginTxn();
+
+  // Materialize the graph, dispatch phase 0 (atomic ordered enqueue), wait
+  // for the terminal RVP. Returns the transaction's final status.
+  Status Run(const std::shared_ptr<DoraTxn>& dtxn, FlowGraph&& graph);
+
+  // --- routing ---
+
+  uint32_t RouteIndex(TableId table, uint64_t routing_value) const;
+  Executor* RouteToExecutor(TableId table, uint64_t routing_value) const;
+  Executor* ExecutorAt(TableId table, uint32_t index) const;
+  uint32_t executors_of(TableId table) const;
+  const RoutingTable* routing_of(TableId table) const;
+  uint64_t key_space_of(TableId table) const;
+
+  // Install a new routing rule after draining the affected executors
+  // (§A.2.1 shrink/grow protocol). Blocks until the handover is safe.
+  Status Rebalance(TableId table, std::shared_ptr<const RoutingRule> rule);
+
+  const Options& options() const { return options_; }
+
+  // --- internal (executor callbacks) ---
+
+  // Enqueue all actions of `phase` atomically: latch target queues in
+  // global executor order, publish, then notify (§4.2.3).
+  void DispatchPhase(DoraTxn* dtxn, size_t phase);
+
+  // Re-route a stale-routed action to its current owner (after a routing
+  // rule change).
+  void Redispatch(Action* a);
+
+  // Commit/abort + completion fan-out; runs on the executor that zeroed the
+  // terminal (or aborting) RVP.
+  void FinishTxn(DoraTxn* dtxn);
+
+  // --- stats ---
+  uint64_t txns_committed() const {
+    return committed_.load(std::memory_order_relaxed);
+  }
+  uint64_t txns_aborted() const {
+    return aborted_.load(std::memory_order_relaxed);
+  }
+  std::vector<Executor*> AllExecutors() const;
+
+ private:
+  friend class Executor;
+
+  struct TableGroup {
+    TableId table;
+    uint64_t key_space;
+    RoutingTable routing;
+    std::vector<std::unique_ptr<Executor>> executors;
+  };
+
+  Database* const db_;
+  const Options options_;
+  bool started_ = false;
+
+  std::unordered_map<TableId, std::unique_ptr<TableGroup>> tables_;
+  uint32_t next_global_index_ = 0;
+
+  // Long-lived system transaction through which executors hold table IX
+  // locks across client transactions (§4.1.3: "Each executor implicitly
+  // holds an intent exclusive (IX) lock for the whole table").
+  std::unique_ptr<Transaction> system_txn_;
+
+  // Registry keeping DoraTxns alive while completion messages reference
+  // them (guarded by reg_mu_).
+  std::mutex reg_mu_;
+  std::unordered_map<DoraTxn*, std::shared_ptr<DoraTxn>> live_;
+
+  std::atomic<uint64_t> committed_{0};
+  std::atomic<uint64_t> aborted_{0};
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_DORA_ENGINE_H_

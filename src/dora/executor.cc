@@ -1,0 +1,134 @@
+#include "dora/executor.h"
+
+#include "dora/dora_engine.h"
+#include "util/thread_pool.h"
+
+namespace doradb {
+namespace dora {
+
+Executor::Executor(DoraEngine* engine, Database* db, TableId table,
+                   uint32_t index_in_table, uint32_t global_index)
+    : engine_(engine),
+      db_(db),
+      table_(table),
+      index_in_table_(index_in_table),
+      global_index_(global_index) {}
+
+void Executor::Start() {
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void Executor::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Executor::EnqueueCompleted(std::shared_ptr<DoraTxn> dtxn) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    completed_.push_back(std::move(dtxn));
+  }
+  cv_.notify_one();
+}
+
+void Executor::Loop() {
+  if (engine_->options().bind_cores) BindToCore(global_index_);
+  const uint64_t timeout_cycles = static_cast<uint64_t>(
+      engine_->options().local_wait_timeout_us * 1000.0 *
+      Cycles::PerNanosecond());
+  std::vector<Action*> runnable;
+  std::deque<Action*> in;
+  std::deque<std::shared_ptr<DoraTxn>> comp;
+  for (;;) {
+    in.clear();
+    comp.clear();
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      const auto pred = [&] {
+        return stop_ || !incoming_.empty() || !completed_.empty();
+      };
+      if (locks_.num_parked() == 0) {
+        cv_.wait(lk, pred);
+      } else {
+        // Parked actions exist: wake periodically to expire stale waits
+        // (cross-graph local-lock deadlock resolution).
+        cv_.wait_for(lk, std::chrono::milliseconds(20), pred);
+      }
+      if (stop_ && incoming_.empty() && completed_.empty()) return;
+      in.swap(incoming_);
+      comp.swap(completed_);
+    }
+    if (locks_.num_parked() != 0) {
+      std::vector<Action*> expired;
+      runnable.clear();
+      const uint64_t now = Cycles::Now();
+      locks_.CollectExpired(now > timeout_cycles ? now - timeout_cycles : 0,
+                            &expired, &runnable);
+      for (Action* a : expired) {
+        a->dtxn->MarkAborted(
+            Status::Deadlock("local lock wait expired (§4.2.3 detector)"));
+        actions_executed_.fetch_add(1, std::memory_order_relaxed);
+        ReportToRvp(a);  // participates in RVP accounting, body skipped
+      }
+      for (Action* a : runnable) ExecuteGranted(a);
+    }
+    // Completions first (paper steps 11-12): release the transaction's
+    // local locks and serially execute any actions that become runnable.
+    for (auto& dtxn : comp) {
+      runnable.clear();
+      locks_.ReleaseAll(dtxn.get(), &runnable);
+      for (Action* a : runnable) ExecuteGranted(a);
+    }
+    // Then incoming actions, FIFO.
+    for (Action* a : in) {
+      load_counter_.fetch_add(1, std::memory_order_relaxed);
+      // A routing-rule change may have happened after this action was
+      // dispatched; bounce stale-routed actions to the current owner.
+      if (!a->whole_dataset &&
+          engine_->RouteToExecutor(a->table, a->routing_value) != this) {
+        engine_->Redispatch(a);
+        continue;
+      }
+      if (locks_.TryAcquire(a)) {
+        ExecuteGranted(a);
+      }
+      // else parked: a Release will hand it back via `runnable`.
+    }
+  }
+}
+
+void Executor::ExecuteGranted(Action* a) {
+  DoraTxn* dtxn = a->dtxn;
+  // DORA-P abort handling (§A.4): check for a sibling's abort before doing
+  // any work; the action still participates in RVP accounting.
+  if (!dtxn->aborted() && a->body) {
+    ActionEnv env{db_, dtxn->txn(), dtxn, this};
+    ScopedTimeClass work(TimeClass::kWork);
+    const Status s = a->body(env);
+    if (!s.ok()) dtxn->MarkAborted(s);
+  }
+  actions_executed_.fetch_add(1, std::memory_order_relaxed);
+  ReportToRvp(a);
+}
+
+void Executor::ReportToRvp(Action* a) {
+  DoraTxn* dtxn = a->dtxn;
+  Rvp* rvp = dtxn->rvps[a->phase].get();
+  ScopedTimeClass timer(TimeClass::kDoraRvp);
+  if (rvp->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  // This executor zeroed the RVP: it initiates the next phase, or the
+  // commit/abort if this was the terminal RVP (or the txn aborted).
+  const bool terminal = a->phase + 1 >= dtxn->num_phases();
+  if (terminal || dtxn->aborted()) {
+    engine_->FinishTxn(dtxn);
+  } else {
+    engine_->DispatchPhase(dtxn, a->phase + 1);
+  }
+}
+
+}  // namespace dora
+}  // namespace doradb

@@ -1,0 +1,96 @@
+// Executor: the worker thread bound to one or more datasets of a table
+// (paper §4.1.3). It owns three structures: an incoming action queue, a
+// completed-transaction queue, and a thread-local lock table. Actions are
+// served FIFO; conflicting actions park in the local lock table and resume
+// when the blocking transaction's completion message releases its locks.
+
+#ifndef DORADB_DORA_EXECUTOR_H_
+#define DORADB_DORA_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "dora/action.h"
+#include "dora/local_lock_table.h"
+
+namespace doradb {
+namespace dora {
+
+class DoraEngine;
+
+class Executor {
+ public:
+  // `global_index` defines the total order used for atomic multi-queue
+  // enqueues (§4.2.3 footnote: "There is a strict ordering between
+  // executors. The threads acquire the latches in that order").
+  Executor(DoraEngine* engine, Database* db, TableId table,
+           uint32_t index_in_table, uint32_t global_index);
+
+  void Start();
+  void Stop();
+
+  TableId table() const { return table_; }
+  uint32_t index_in_table() const { return index_in_table_; }
+  uint32_t global_index() const { return global_index_; }
+
+  // --- queue interface (incoming latched externally for atomic enqueue) ---
+
+  std::mutex& queue_mutex() { return mu_; }
+  // Requires queue_mutex() held.
+  void EnqueueIncomingLocked(Action* a) { incoming_.push_back(a); }
+  void Notify() { cv_.notify_one(); }
+
+  // Completion message (§4.1.3 steps 10-12): release dtxn's local locks.
+  void EnqueueCompleted(std::shared_ptr<DoraTxn> dtxn);
+
+  // --- stats ---
+  uint64_t actions_executed() const {
+    return actions_executed_.load(std::memory_order_relaxed);
+  }
+  uint64_t local_lock_acquires() const { return locks_.acquires(); }
+  uint64_t local_lock_conflicts() const { return locks_.conflicts(); }
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return incoming_.size();
+  }
+  // Load metric for the resource manager.
+  uint64_t load_counter() const {
+    return load_counter_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class DoraEngine;
+
+  void Loop();
+  // Run the body (unless the txn already aborted) and report to the RVP.
+  void ExecuteGranted(Action* a);
+  void ReportToRvp(Action* a);
+  void FinishTxn(DoraTxn* dtxn);
+
+  DoraEngine* const engine_;
+  Database* const db_;
+  const TableId table_;
+  const uint32_t index_in_table_;
+  const uint32_t global_index_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Action*> incoming_;
+  std::deque<std::shared_ptr<DoraTxn>> completed_;
+  bool stop_ = false;
+
+  LocalLockTable locks_;  // executor-private: no latching
+
+  std::thread thread_;
+  std::atomic<uint64_t> actions_executed_{0};
+  std::atomic<uint64_t> load_counter_{0};
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_EXECUTOR_H_

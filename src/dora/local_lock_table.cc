@@ -1,0 +1,169 @@
+#include "dora/local_lock_table.h"
+
+#include "util/sync_stats.h"
+
+namespace doradb {
+namespace dora {
+
+bool LocalLockTable::EntryGrantable(const Entry& e, const Action* a) {
+  DoraTxn* txn = a->dtxn;
+  if (e.x_owner != nullptr && e.x_owner != txn) return false;
+  if (a->mode == LocalMode::kX) {
+    for (DoraTxn* s : e.s_owners) {
+      if (s != txn) return false;
+    }
+  }
+  return true;
+}
+
+bool LocalLockTable::Grantable(const Action* a) const {
+  DoraTxn* txn = a->dtxn;
+  if (a->whole_dataset) {
+    if (!EntryGrantable(whole_, a)) return false;
+    // Conservative: a whole-dataset action waits for every exact lock held
+    // by other transactions (multi-partition ops are rare, §4.1.3).
+    uint32_t own_exact = 0;
+    auto it = holdings_.find(txn);
+    if (it != holdings_.end()) {
+      for (const Holding& h : it->second) {
+        if (!h.whole) ++own_exact;
+      }
+    }
+    return exact_granted_ == own_exact;
+  }
+  // Exact action: must also be compatible with any whole-dataset holders.
+  if (whole_.x_owner != nullptr && whole_.x_owner != txn) return false;
+  if (a->mode == LocalMode::kX) {
+    for (DoraTxn* s : whole_.s_owners) {
+      if (s != txn) return false;
+    }
+  }
+  auto it = exact_.find(a->routing_value);
+  if (it == exact_.end()) return true;
+  return EntryGrantable(it->second, a);
+}
+
+void LocalLockTable::Grant(Action* a) {
+  Entry& e = a->whole_dataset ? whole_ : exact_[a->routing_value];
+  if (a->mode == LocalMode::kX) {
+    e.x_owner = a->dtxn;
+    ++e.x_count;
+  } else {
+    e.s_owners.push_back(a->dtxn);
+  }
+  if (!a->whole_dataset) ++exact_granted_;
+  holdings_[a->dtxn].push_back(Holding{a->routing_value, a->whole_dataset});
+  ++acquires_;
+  ThreadStats::Local().CountLock(LockCounter::kDoraLocal);
+}
+
+bool LocalLockTable::TryAcquire(Action* a) {
+  ScopedTimeClass timer(TimeClass::kDoraLocalLock);
+  Entry& e = a->whole_dataset ? whole_ : exact_[a->routing_value];
+  // Re-entrant grants must bypass queue fairness, or a transaction's second
+  // action could queue behind a waiter that waits for that transaction.
+  bool reentrant = e.x_owner == a->dtxn;
+  if (!reentrant) {
+    for (DoraTxn* s : e.s_owners) {
+      if (s == a->dtxn) {
+        reentrant = true;
+        break;
+      }
+    }
+  }
+  if ((e.waiters.empty() || reentrant) && Grantable(a)) {
+    Grant(a);
+    return true;
+  }
+  a->parked_at = Cycles::Now();
+  e.waiters.push_back(a);
+  ++parked_;
+  ++conflicts_;
+  return false;
+}
+
+void LocalLockTable::CollectExpired(uint64_t deadline_cycles,
+                                    std::vector<Action*>* expired,
+                                    std::vector<Action*>* runnable) {
+  auto sweep = [&](Entry& e) {
+    for (auto it = e.waiters.begin(); it != e.waiters.end();) {
+      if ((*it)->parked_at != 0 && (*it)->parked_at < deadline_cycles) {
+        expired->push_back(*it);
+        it = e.waiters.erase(it);
+        --parked_;
+      } else {
+        ++it;
+      }
+    }
+  };
+  for (auto& [key, entry] : exact_) sweep(entry);
+  sweep(whole_);
+  // Expiring a queue head may unblock (grant) the waiters behind it.
+  if (!expired->empty()) {
+    for (auto& [key, entry] : exact_) WakeEntry(entry, runnable);
+    WakeEntry(whole_, runnable);
+  }
+}
+
+void LocalLockTable::WakeEntry(Entry& e, std::vector<Action*>* runnable) {
+  while (!e.waiters.empty()) {
+    Action* a = e.waiters.front();
+    if (!Grantable(a)) break;  // FIFO: first blocked waiter is a barrier
+    e.waiters.pop_front();
+    --parked_;
+    Grant(a);
+    runnable->push_back(a);
+  }
+}
+
+void LocalLockTable::ReleaseAll(DoraTxn* dtxn,
+                                std::vector<Action*>* runnable) {
+  ScopedTimeClass timer(TimeClass::kDoraLocalLock);
+  auto it = holdings_.find(dtxn);
+  if (it == holdings_.end()) return;
+
+  bool released_whole = false;
+  std::vector<uint64_t> touched_keys;
+  for (const Holding& h : it->second) {
+    Entry& e = h.whole ? whole_ : exact_[h.key];
+    if (e.x_owner == dtxn) {
+      if (--e.x_count == 0) e.x_owner = nullptr;
+    } else {
+      for (auto s = e.s_owners.begin(); s != e.s_owners.end(); ++s) {
+        if (*s == dtxn) {
+          e.s_owners.erase(s);
+          break;
+        }
+      }
+    }
+    if (h.whole) {
+      released_whole = true;
+    } else {
+      --exact_granted_;
+      touched_keys.push_back(h.key);
+    }
+  }
+  holdings_.erase(it);
+
+  // Wake waiters on the entries we touched, then whole-dataset waiters,
+  // then — if a whole lock was dropped — every parked exact action.
+  for (uint64_t key : touched_keys) {
+    auto eit = exact_.find(key);
+    if (eit != exact_.end()) WakeEntry(eit->second, runnable);
+  }
+  WakeEntry(whole_, runnable);
+  if (released_whole) {
+    for (auto& [key, entry] : exact_) WakeEntry(entry, runnable);
+  }
+  // Drop fully-free entries so the table stays small.
+  for (uint64_t key : touched_keys) {
+    auto eit = exact_.find(key);
+    if (eit != exact_.end() && eit->second.Free() &&
+        eit->second.x_count == 0) {
+      exact_.erase(eit);
+    }
+  }
+}
+
+}  // namespace dora
+}  // namespace doradb

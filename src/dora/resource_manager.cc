@@ -1,0 +1,133 @@
+#include "dora/resource_manager.h"
+
+#include <ctime>
+
+namespace doradb {
+namespace dora {
+
+namespace {
+void NapMicros(uint64_t us) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(us / 1000000);
+  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
+  nanosleep(&ts, nullptr);
+}
+}  // namespace
+
+PlanAdvisor::TypeStats& PlanAdvisor::StatsFor(uint32_t txn_type) const {
+  std::lock_guard<std::mutex> g(mu_);
+  auto& slot = stats_[txn_type];
+  if (slot == nullptr) slot = std::make_unique<TypeStats>();
+  return *slot;
+}
+
+void PlanAdvisor::RecordOutcome(uint32_t txn_type, bool aborted) {
+  TypeStats& s = StatsFor(txn_type);
+  const uint64_t total = s.total.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t ab =
+      s.aborted.fetch_add(aborted ? 1 : 0, std::memory_order_relaxed) +
+      (aborted ? 1 : 0);
+  if (total < options_.min_samples) return;
+  const double rate = static_cast<double>(ab) / static_cast<double>(total);
+  if (rate > options_.serial_threshold) {
+    s.serial.store(true, std::memory_order_relaxed);
+  } else if (rate < options_.serial_threshold - options_.hysteresis) {
+    s.serial.store(false, std::memory_order_relaxed);
+  }
+}
+
+bool PlanAdvisor::RecommendSerial(uint32_t txn_type) const {
+  return StatsFor(txn_type).serial.load(std::memory_order_relaxed);
+}
+
+double PlanAdvisor::AbortRate(uint32_t txn_type) const {
+  TypeStats& s = StatsFor(txn_type);
+  const uint64_t total = s.total.load(std::memory_order_relaxed);
+  if (total == 0) return 0.0;
+  return static_cast<double>(s.aborted.load(std::memory_order_relaxed)) /
+         static_cast<double>(total);
+}
+
+ResourceManager::ResourceManager(DoraEngine* engine, Options options)
+    : engine_(engine), options_(options) {}
+
+ResourceManager::~ResourceManager() { Stop(); }
+
+void ResourceManager::Start() {
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ResourceManager::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+}
+
+void ResourceManager::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    NapMicros(options_.sample_interval_us);
+    if (stop_.load(std::memory_order_acquire)) break;
+    SampleOnce();
+  }
+}
+
+void ResourceManager::SampleOnce() {
+  // Group executors by table, compute load deltas since the last sample.
+  std::unordered_map<TableId, std::vector<uint64_t>> loads;
+  for (Executor* e : engine_->AllExecutors()) {
+    const uint64_t now = e->load_counter();
+    const uint64_t before = last_load_[e];
+    last_load_[e] = now;
+    auto& v = loads[e->table()];
+    if (v.size() <= e->index_in_table()) v.resize(e->index_in_table() + 1);
+    v[e->index_in_table()] = now - before;
+  }
+  if (!options_.auto_rebalance) return;
+  for (auto& [table, v] : loads) {
+    if (v.size() > 1) MaybeRebalanceTable(table, v);
+  }
+}
+
+void ResourceManager::MaybeRebalanceTable(TableId table,
+                                          const std::vector<uint64_t>& loads) {
+  uint64_t total = 0, maxv = 0;
+  for (uint64_t l : loads) {
+    total += l;
+    maxv = std::max(maxv, l);
+  }
+  if (total < loads.size() * 16) return;  // not enough signal
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(loads.size());
+  if (static_cast<double>(maxv) < options_.imbalance_threshold * mean) return;
+
+  // Re-partition the routing-value domain proportionally to the inverse of
+  // the observed load: heavily-loaded executors get narrower datasets.
+  auto current = engine_->routing_of(table)->Current();
+  const uint64_t key_space = engine_->key_space_of(table);
+  auto rule = std::make_shared<RoutingRule>();
+  rule->version = current->version + 1;
+  const size_t n = loads.size();
+  double weight_total = 0;
+  std::vector<double> weights(n);
+  for (size_t i = 0; i < n; ++i) {
+    weights[i] = 1.0 / (1.0 + static_cast<double>(loads[i]));
+    weight_total += weights[i];
+  }
+  double acc = 0;
+  for (size_t i = 0; i + 1 < n; ++i) {
+    acc += weights[i] / weight_total;
+    uint64_t boundary = static_cast<uint64_t>(
+        acc * static_cast<double>(key_space));
+    if (!rule->boundaries.empty() && boundary <= rule->boundaries.back()) {
+      boundary = rule->boundaries.back() + 1;
+    }
+    rule->boundaries.push_back(boundary);
+  }
+  for (uint32_t i = 0; i < n; ++i) rule->executor_of_dataset.push_back(i);
+  if (engine_->Rebalance(table, rule).ok()) {
+    rebalances_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace dora
+}  // namespace doradb

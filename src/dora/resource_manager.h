@@ -1,0 +1,102 @@
+// DORA resource manager (paper §4.1.1, §A.2.1, §A.4):
+//  * monitors per-executor load and rebalances routing rules when the load
+//    assigned to an executor is disproportionately large;
+//  * monitors per-transaction-type abort rates and recommends serial
+//    execution plans (DORA-S) for high-abort intra-parallel transactions.
+
+#ifndef DORADB_DORA_RESOURCE_MANAGER_H_
+#define DORADB_DORA_RESOURCE_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "dora/dora_engine.h"
+
+namespace doradb {
+namespace dora {
+
+// Tracks abort rates per transaction type; recommends the serial plan when
+// the observed rate crosses the threshold (§A.4: "When the abort rates are
+// high, DORA switches to serial execution plans").
+class PlanAdvisor {
+ public:
+  struct Options {
+    double serial_threshold = 0.10;  // switch to DORA-S above 10% aborts
+    double hysteresis = 0.05;        // switch back below threshold-hysteresis
+    uint64_t min_samples = 50;
+  };
+
+  explicit PlanAdvisor(Options options) : options_(options) {}
+  PlanAdvisor() : PlanAdvisor(Options()) {}
+
+  void RecordOutcome(uint32_t txn_type, bool aborted);
+  bool RecommendSerial(uint32_t txn_type) const;
+  double AbortRate(uint32_t txn_type) const;
+
+ private:
+  struct TypeStats {
+    std::atomic<uint64_t> total{0};
+    std::atomic<uint64_t> aborted{0};
+    std::atomic<bool> serial{false};
+  };
+
+  const Options options_;
+  mutable std::mutex mu_;
+  // Keyed by caller-assigned transaction-type id.
+  mutable std::unordered_map<uint32_t, std::unique_ptr<TypeStats>> stats_;
+
+  TypeStats& StatsFor(uint32_t txn_type) const;
+};
+
+// Periodically samples executor load counters and re-partitions a table's
+// routing rule when imbalance exceeds the threshold. Rebalancing goes
+// through DoraEngine::Rebalance, i.e. the drain-then-install system-action
+// protocol of §A.2.1.
+class ResourceManager {
+ public:
+  struct Options {
+    uint64_t sample_interval_us = 50000;
+    double imbalance_threshold = 2.0;  // max/mean load ratio triggering move
+    bool auto_rebalance = true;
+  };
+
+  ResourceManager(DoraEngine* engine, Options options);
+  ResourceManager(DoraEngine* engine)
+      : ResourceManager(engine, Options()) {}
+  ~ResourceManager();
+
+  void Start();
+  void Stop();
+
+  PlanAdvisor& plan_advisor() { return advisor_; }
+
+  // One monitoring pass (exposed for deterministic tests).
+  void SampleOnce();
+
+  uint64_t rebalances() const {
+    return rebalances_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void MaybeRebalanceTable(TableId table,
+                           const std::vector<uint64_t>& loads);
+
+  DoraEngine* const engine_;
+  const Options options_;
+  PlanAdvisor advisor_;
+
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+  std::unordered_map<const Executor*, uint64_t> last_load_;
+  std::atomic<uint64_t> rebalances_{0};
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_RESOURCE_MANAGER_H_

@@ -1,0 +1,22 @@
+#include "dora/routing.h"
+
+namespace doradb {
+namespace dora {
+
+std::shared_ptr<const RoutingRule> RoutingRule::Uniform(uint64_t key_space,
+                                                        uint32_t executors) {
+  auto rule = std::make_shared<RoutingRule>();
+  if (executors == 0) executors = 1;
+  if (key_space < executors) key_space = executors;
+  const uint64_t per = key_space / executors;
+  for (uint32_t i = 1; i < executors; ++i) {
+    rule->boundaries.push_back(per * i);
+  }
+  for (uint32_t i = 0; i < executors; ++i) {
+    rule->executor_of_dataset.push_back(i);
+  }
+  return rule;
+}
+
+}  // namespace dora
+}  // namespace doradb

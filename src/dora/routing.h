@@ -1,0 +1,84 @@
+// Routing rules: the mapping from routing-field values to datasets to
+// executors (paper §4.1.1).
+//
+// A routing rule partitions a table's routing-field domain into contiguous
+// ranges, one per dataset; each dataset is owned by one executor. Rules are
+// maintained at runtime by the resource manager, which swaps in a new rule
+// version to rebalance load (§A.2.1). Dispatchers read rules lock-free via
+// shared_ptr snapshots; executors re-validate ownership on dequeue, so a
+// stale-routed action bounces to the right executor instead of executing on
+// the wrong one.
+
+#ifndef DORADB_DORA_ROUTING_H_
+#define DORADB_DORA_ROUTING_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace doradb {
+namespace dora {
+
+// One immutable version of a table's routing rule.
+struct RoutingRule {
+  // boundaries[i] is the first routing value owned by dataset i+1; dataset 0
+  // owns [0, boundaries[0]). Values >= boundaries.back() map to the last
+  // dataset. Empty boundaries = single dataset.
+  std::vector<uint64_t> boundaries;
+  // executor (index within the table's executor group) per dataset;
+  // size = boundaries.size() + 1.
+  std::vector<uint32_t> executor_of_dataset;
+  uint64_t version = 0;
+
+  uint32_t DatasetOf(uint64_t value) const {
+    uint32_t lo = 0, hi = static_cast<uint32_t>(boundaries.size());
+    while (lo < hi) {
+      const uint32_t mid = (lo + hi) / 2;
+      if (value >= boundaries[mid]) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  uint32_t Route(uint64_t value) const {
+    return executor_of_dataset[DatasetOf(value)];
+  }
+
+  // Evenly split [0, key_space) across `executors` datasets.
+  static std::shared_ptr<const RoutingRule> Uniform(uint64_t key_space,
+                                                    uint32_t executors);
+};
+
+// Mutable holder of the current rule for one table.
+class RoutingTable {
+ public:
+  RoutingTable() = default;
+
+  void Install(std::shared_ptr<const RoutingRule> rule) {
+    std::lock_guard<std::mutex> g(mu_);
+    rule_ = std::move(rule);
+  }
+
+  std::shared_ptr<const RoutingRule> Current() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return rule_;
+  }
+
+  uint32_t Route(uint64_t value) const { return Current()->Route(value); }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const RoutingRule> rule_;
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_ROUTING_H_

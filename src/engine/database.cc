@@ -1,0 +1,251 @@
+#include "engine/database.h"
+
+namespace doradb {
+
+Database::Database(Options options)
+    : options_(options),
+      disk_(std::make_unique<DiskManager>()),
+      pool_(std::make_unique<BufferPool>(disk_.get(), options.buffer_frames)),
+      catalog_(std::make_unique<Catalog>(pool_.get())),
+      lock_(std::make_unique<LockManager>(options.lock)),
+      log_(std::make_unique<LogManager>(options.log)),
+      txns_(std::make_unique<TxnManager>(lock_.get(), log_.get())) {
+  pool_->SetWalFlushCallback([this](Lsn lsn) {
+    if (lsn != kInvalidLsn) log_->FlushTo(lsn);
+  });
+}
+
+Database::~Database() = default;
+
+Status Database::Commit(Transaction* txn) {
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  rec.txn = txn->id();
+  const Lsn end = txn->ChainAppend(log_.get(), &rec);
+  log_->WaitFlushed(end);  // durability point (group commit)
+
+  // Post-commit work, outside the transaction: physical frees of deleted
+  // slots and DORA's secondary-index delete flagging (§4.2.2).
+  for (auto& fn : txn->post_commit()) fn();
+  txn->post_commit().clear();
+
+  LogRecord end_rec;
+  end_rec.type = LogType::kEnd;
+  end_rec.txn = txn->id();
+  txn->ChainAppend(log_.get(), &end_rec);
+
+  lock_->ReleaseAll(txn);
+  txns_->Finish(txn);
+  txn->set_state(TxnState::kCommitted);
+  return Status::OK();
+}
+
+Status Database::Abort(Transaction* txn) {
+  LogRecord abort_rec;
+  abort_rec.type = LogType::kAbort;
+  abort_rec.txn = txn->id();
+  txn->ChainAppend(log_.get(), &abort_rec);
+
+  // Undo heap operations, newest first, logging a CLR per undone op.
+  auto& undo = txn->undo();
+  for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+    HeapFile* heap = catalog_->Heap(it->table);
+    Status s;
+    LogRecord clr;
+    clr.type = LogType::kClr;
+    clr.txn = txn->id();
+    clr.table = it->table;
+    clr.rid = it->rid;
+    // ARIES undo_next: the next record still requiring undo (restart undo
+    // resumes here if we crash mid-rollback).
+    auto next_it = it + 1;
+    clr.undo_next = next_it != undo.rend() ? next_it->lsn : kInvalidLsn;
+    switch (it->kind) {
+      case UndoRecord::Kind::kInsert:
+        clr.clr_action = LogType::kDelete;
+        txn->ChainAppend(log_.get(), &clr);
+        s = heap->Delete(it->rid, nullptr, clr.lsn);
+        break;
+      case UndoRecord::Kind::kUpdate:
+        clr.clr_action = LogType::kUpdate;
+        clr.after = it->before;
+        txn->ChainAppend(log_.get(), &clr);
+        s = heap->Update(it->rid, it->before, nullptr, clr.lsn);
+        break;
+      case UndoRecord::Kind::kDelete:
+        // Physical free was deferred to post-commit, which never ran:
+        // nothing to undo on the heap.
+        continue;
+    }
+    if (!s.ok()) return Status::Corruption("rollback failed: " + s.ToString());
+  }
+  undo.clear();
+
+  // Reverse index operations logically.
+  auto& iundo = txn->index_undo();
+  for (auto it = iundo.rbegin(); it != iundo.rend(); ++it) {
+    BTree* tree = catalog_->Index(it->index);
+    switch (it->kind) {
+      case IndexUndo::Kind::kInsert:
+        (void)tree->Remove(it->key, it->rid);
+        break;
+      case IndexUndo::Kind::kRemove:
+        (void)tree->Insert(it->key, IndexEntry{it->rid, it->aux, false});
+        break;
+    }
+  }
+  iundo.clear();
+  txn->post_commit().clear();
+
+  LogRecord end_rec;
+  end_rec.type = LogType::kEnd;
+  end_rec.txn = txn->id();
+  txn->ChainAppend(log_.get(), &end_rec);
+
+  lock_->ReleaseAll(txn);
+  txns_->Finish(txn);
+  txn->set_state(TxnState::kAborted);
+  return Status::OK();
+}
+
+Status Database::Read(Transaction* txn, TableId table, const Rid& rid,
+                      std::string* record, const AccessOptions& opts) {
+  if (opts.use_locks) {
+    DORADB_RETURN_NOT_OK(lock_->LockRow(txn, table, rid, LockMode::kS));
+  }
+  return catalog_->Heap(table)->Get(rid, record);
+}
+
+Status Database::Insert(Transaction* txn, TableId table,
+                        std::string_view record, Rid* rid,
+                        const AccessOptions& opts) {
+  HeapFile* heap = catalog_->Heap(table);
+  DORADB_RETURN_NOT_OK(heap->Insert(record, rid));
+  // Lock the freshly allocated RID. Baseline takes the full hierarchy; DORA
+  // takes only the row lock (§4.2.1). The slot cannot clash with a ghost
+  // (ghost slots stay occupied until their deleter commits).
+  if (opts.use_locks) {
+    const Status s = lock_->LockRow(txn, table, *rid, LockMode::kX);
+    if (!s.ok()) {
+      (void)heap->Delete(*rid);  // roll the physical insert back
+      return s;
+    }
+  } else if (opts.rid_lock_only) {
+    const Status s = lock_->Lock(txn, LockId::Row(table, *rid), LockMode::kX);
+    if (!s.ok()) {
+      (void)heap->Delete(*rid);
+      return s;
+    }
+    ThreadStats::Local().CountLock(LockCounter::kRowLevel);
+  }
+
+  LogRecord rec;
+  rec.type = LogType::kInsert;
+  rec.txn = txn->id();
+  rec.table = table;
+  rec.rid = *rid;
+  rec.after = std::string(record);
+  txn->ChainAppend(log_.get(), &rec);
+  // The LSN is only known after the physical insert; stamp it now (page
+  // LSNs are monotone, so racing stampers are harmless).
+  (void)heap->StampPageLsn(rid->page_id, rec.lsn);
+
+  txn->PushUndo(
+      UndoRecord{UndoRecord::Kind::kInsert, table, *rid, "", rec.lsn});
+  return Status::OK();
+}
+
+Status Database::Update(Transaction* txn, TableId table, const Rid& rid,
+                        std::string_view record, const AccessOptions& opts) {
+  if (opts.use_locks) {
+    DORADB_RETURN_NOT_OK(lock_->LockRow(txn, table, rid, LockMode::kX));
+  }
+  HeapFile* heap = catalog_->Heap(table);
+
+  // WAL: log first (with the before image), then apply stamped with the
+  // record's LSN.
+  std::string before;
+  DORADB_RETURN_NOT_OK(heap->Get(rid, &before));
+  LogRecord rec;
+  rec.type = LogType::kUpdate;
+  rec.txn = txn->id();
+  rec.table = table;
+  rec.rid = rid;
+  rec.before = before;
+  rec.after = std::string(record);
+  txn->ChainAppend(log_.get(), &rec);
+
+  DORADB_RETURN_NOT_OK(heap->Update(rid, record, nullptr, rec.lsn));
+  txn->PushUndo(UndoRecord{UndoRecord::Kind::kUpdate, table, rid,
+                           std::move(before), rec.lsn});
+  return Status::OK();
+}
+
+Status Database::Delete(Transaction* txn, TableId table, const Rid& rid,
+                        const AccessOptions& opts) {
+  if (opts.use_locks) {
+    DORADB_RETURN_NOT_OK(lock_->LockRow(txn, table, rid, LockMode::kX));
+  } else if (opts.rid_lock_only) {
+    DORADB_RETURN_NOT_OK(
+        lock_->Lock(txn, LockId::Row(table, rid), LockMode::kX));
+    ThreadStats::Local().CountLock(LockCounter::kRowLevel);
+  }
+  HeapFile* heap = catalog_->Heap(table);
+  std::string before;
+  DORADB_RETURN_NOT_OK(heap->Get(rid, &before));
+
+  LogRecord rec;
+  rec.type = LogType::kDelete;
+  rec.txn = txn->id();
+  rec.table = table;
+  rec.rid = rid;
+  rec.before = before;
+  txn->ChainAppend(log_.get(), &rec);
+
+  txn->PushUndo(UndoRecord{UndoRecord::Kind::kDelete, table, rid,
+                           std::move(before), rec.lsn});
+  // Ghost until commit: physically free the slot only once durable.
+  const Lsn lsn = rec.lsn;
+  txn->AddPostCommit([this, table, rid, lsn] {
+    (void)PhysicalDelete(table, rid, lsn);
+  });
+  return Status::OK();
+}
+
+Status Database::PhysicalDelete(TableId table, const Rid& rid, Lsn lsn) {
+  return catalog_->Heap(table)->Delete(rid, nullptr, lsn);
+}
+
+Status Database::IndexInsert(Transaction* txn, IndexId index,
+                             std::string_view key, const IndexEntry& entry) {
+  DORADB_RETURN_NOT_OK(catalog_->Index(index)->Insert(key, entry));
+  txn->PushIndexUndo(IndexUndo{IndexUndo::Kind::kInsert, index,
+                               std::string(key), entry.rid, entry.aux});
+  return Status::OK();
+}
+
+Status Database::IndexRemove(Transaction* txn, IndexId index,
+                             std::string_view key, const Rid& rid,
+                             uint64_t aux_for_undo) {
+  DORADB_RETURN_NOT_OK(catalog_->Index(index)->Remove(key, rid));
+  txn->PushIndexUndo(IndexUndo{IndexUndo::Kind::kRemove, index,
+                               std::string(key), rid, aux_for_undo});
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  DORADB_RETURN_NOT_OK(pool_->FlushAll());
+  LogRecord rec;
+  rec.type = LogType::kCheckpoint;
+  rec.active_txns = txns_->ActiveTxns();
+  const Lsn end = log_->Append(&rec);
+  log_->WaitFlushed(end);
+  return Status::OK();
+}
+
+void Database::SimulateCrash() {
+  log_->DiscardVolatileTail();
+  pool_->DiscardAll();
+}
+
+}  // namespace doradb

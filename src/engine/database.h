@@ -1,0 +1,135 @@
+// Database: the storage-manager facade tying together buffer pool, catalog,
+// lock manager, WAL, and transactions. Mirrors the role Shore-MT plays for
+// the paper's prototype (§4.3).
+//
+// Record operations take AccessOptions, reproducing the paper's Shore-MT
+// modification: "We added an additional parameter to the functions which
+// read or update records ... This flag instructs Shore-MT to not use
+// concurrency control. ... In the case of insert and delete records,
+// another flag instructs Shore-MT to acquire only the row-level lock and
+// avoid acquiring the whole hierarchy."
+//
+// Delete semantics: the row is removed from visibility (indexes) inside the
+// transaction, but the heap slot is physically freed only after commit
+// ("ghost until commit"). This prevents the §4.2.1 slot-reuse conflict at
+// the storage level; DORA nonetheless takes the centralized RID lock on
+// inserts/deletes exactly as the paper prescribes.
+
+#ifndef DORADB_ENGINE_DATABASE_H_
+#define DORADB_ENGINE_DATABASE_H_
+
+#include <functional>
+#include <memory>
+
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "storage/buffer_pool.h"
+#include "storage/catalog.h"
+#include "storage/disk_manager.h"
+#include "txn/txn_manager.h"
+
+namespace doradb {
+
+// Concurrency-control flags for one record access.
+struct AccessOptions {
+  // Acquire hierarchical locks through the centralized lock manager
+  // (Baseline behaviour). DORA actions pass false.
+  bool use_locks = true;
+  // DORA §4.2.1: inserts/deletes acquire only the row (RID) lock, skipping
+  // the intention-lock hierarchy.
+  bool rid_lock_only = false;
+
+  static AccessOptions Baseline() { return AccessOptions{true, false}; }
+  // DORA probe/update inside an executor: no centralized CC at all.
+  static AccessOptions NoCc() { return AccessOptions{false, false}; }
+  // DORA insert/delete: centralized RID lock only.
+  static AccessOptions RidOnly() { return AccessOptions{false, true}; }
+};
+
+class Database {
+ public:
+  struct Options {
+    size_t buffer_frames = 8192;  // 64 MiB
+    LockManager::Options lock;
+    LogManager::Options log;
+  };
+
+  explicit Database(Options options);
+  Database() : Database(Options()) {}
+  ~Database();
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  Catalog* catalog() { return catalog_.get(); }
+  LockManager* lock_manager() { return lock_.get(); }
+  LogManager* log_manager() { return log_.get(); }
+  TxnManager* txn_manager() { return txns_.get(); }
+  BufferPool* buffer_pool() { return pool_.get(); }
+  DiskManager* disk() { return disk_.get(); }
+
+  // ---- transaction lifecycle ----
+
+  std::unique_ptr<Transaction> Begin() { return txns_->Begin(); }
+
+  // Commit: flush the WAL through the commit record (group commit), run
+  // post-commit actions (slot frees, DORA index flagging), release locks.
+  Status Commit(Transaction* txn);
+
+  // Abort: roll back heap ops via the in-memory undo chain (logging CLRs),
+  // reverse index ops logically, release locks.
+  Status Abort(Transaction* txn);
+
+  // ---- record operations ----
+
+  Status Read(Transaction* txn, TableId table, const Rid& rid,
+              std::string* record, const AccessOptions& opts);
+
+  Status Insert(Transaction* txn, TableId table, std::string_view record,
+                Rid* rid, const AccessOptions& opts);
+
+  Status Update(Transaction* txn, TableId table, const Rid& rid,
+                std::string_view record, const AccessOptions& opts);
+
+  Status Delete(Transaction* txn, TableId table, const Rid& rid,
+                const AccessOptions& opts);
+
+  // ---- index maintenance (logical undo tracked per transaction) ----
+
+  Status IndexInsert(Transaction* txn, IndexId index, std::string_view key,
+                     const IndexEntry& entry);
+  Status IndexRemove(Transaction* txn, IndexId index, std::string_view key,
+                     const Rid& rid, uint64_t aux_for_undo);
+
+  // ---- checkpoints, crash & restart ----
+
+  // Fuzzy checkpoint: flush dirty pages, log active-transaction table.
+  Status Checkpoint();
+
+  // Crash simulation: drop the buffer pool and the volatile log tail.
+  // In-flight transactions are forgotten (they become recovery losers).
+  void SimulateCrash();
+
+  // ARIES restart: analysis over the stable log, redo of winners' history,
+  // undo of losers with CLRs. Heap page lists are rediscovered from the
+  // disk image; indexes are rebuilt by `rebuild_indexes` (schema-aware,
+  // supplied by the workload) after the heaps are consistent.
+  Status Recover(const std::function<Status(Database*)>& rebuild_indexes);
+
+ private:
+  friend class RecoveryDriver;
+
+  // Shared by Commit (deferred deletes) and recovery redo.
+  Status PhysicalDelete(TableId table, const Rid& rid, Lsn lsn);
+
+  Options options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<LockManager> lock_;
+  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<TxnManager> txns_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_ENGINE_DATABASE_H_

@@ -1,0 +1,68 @@
+#include "lock/deadlock.h"
+
+#include "txn/transaction.h"
+
+namespace doradb {
+
+void ActiveTxnTable::Register(Transaction* txn) {
+  Shard& s = ShardFor(txn->id());
+  TatasGuard g(s.lock, TimeClass::kLockOther);
+  s.map[txn->id()] = txn;
+}
+
+void ActiveTxnTable::Unregister(TxnId id) {
+  Shard& s = ShardFor(id);
+  TatasGuard g(s.lock, TimeClass::kLockOther);
+  s.map.erase(id);
+}
+
+Transaction* ActiveTxnTable::Find(TxnId id) const {
+  const Shard& s = ShardFor(id);
+  TatasGuard g(s.lock, TimeClass::kLockOther);
+  auto it = s.map.find(id);
+  return it == s.map.end() ? nullptr : it->second;
+}
+
+size_t ActiveTxnTable::Size() const {
+  size_t n = 0;
+  for (const auto& s : shards_) {
+    TatasGuard g(s.lock, TimeClass::kLockOther);
+    n += s.map.size();
+  }
+  return n;
+}
+
+bool DeadlockDetector::WouldDeadlock(TxnId self) const {
+  ScopedTimeClass timer(TimeClass::kLockOther);
+  // Iterative DFS; the graph is tiny (bounded by blocked transactions).
+  std::vector<TxnId> stack;
+  std::vector<TxnId> visited;
+  {
+    Transaction* t = txns_->Find(self);
+    if (t == nullptr) return false;
+    for (TxnId h : t->WaitsForSnapshot()) stack.push_back(h);
+  }
+  while (!stack.empty()) {
+    const TxnId cur = stack.back();
+    stack.pop_back();
+    if (cur == self) {
+      cycles_found_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    bool seen = false;
+    for (TxnId v : visited) {
+      if (v == cur) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    visited.push_back(cur);
+    Transaction* t = txns_->Find(cur);
+    if (t == nullptr) continue;  // already finished; edge is stale
+    for (TxnId h : t->WaitsForSnapshot()) stack.push_back(h);
+  }
+  return false;
+}
+
+}  // namespace doradb

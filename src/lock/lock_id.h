@@ -1,0 +1,58 @@
+// Identifier of a lockable resource in the table → row hierarchy.
+
+#ifndef DORADB_LOCK_LOCK_ID_H_
+#define DORADB_LOCK_LOCK_ID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "storage/types.h"
+
+namespace doradb {
+
+enum class LockLevel : uint8_t {
+  kTable = 0,
+  kRow = 1,
+};
+
+struct LockId {
+  LockLevel level;
+  TableId table;
+  uint64_t row;  // Rid::Pack() for kRow; 0 for kTable
+
+  static LockId Table(TableId t) { return LockId{LockLevel::kTable, t, 0}; }
+  static LockId Row(TableId t, const Rid& rid) {
+    return LockId{LockLevel::kRow, t, rid.Pack()};
+  }
+
+  bool operator==(const LockId& o) const {
+    return level == o.level && table == o.table && row == o.row;
+  }
+
+  std::string ToString() const {
+    if (level == LockLevel::kTable) {
+      return "table:" + std::to_string(table);
+    }
+    return "row:" + std::to_string(table) + ":" +
+           Rid::Unpack(row).ToString();
+  }
+};
+
+struct LockIdHash {
+  size_t operator()(const LockId& id) const {
+    uint64_t h = static_cast<uint64_t>(id.level) |
+                 (static_cast<uint64_t>(id.table) << 8) | (id.row << 24);
+    // splitmix-style finalizer
+    h ^= h >> 30;
+    h *= 0xBF58476D1CE4E5B9ull;
+    h ^= h >> 27;
+    h *= 0x94D049BB133111EBull;
+    h ^= h >> 31;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOCK_LOCK_ID_H_

@@ -1,0 +1,72 @@
+#include "lock/lock_mode.h"
+
+namespace doradb {
+
+namespace {
+// Rows/columns indexed by LockMode value; kNL compatible with everything.
+constexpr bool kCompat[6][6] = {
+    //            NL     IS     IX     S      SIX    X
+    /* NL  */ {true, true, true, true, true, true},
+    /* IS  */ {true, true, true, true, true, false},
+    /* IX  */ {true, true, true, false, false, false},
+    /* S   */ {true, true, false, true, false, false},
+    /* SIX */ {true, true, false, false, false, false},
+    /* X   */ {true, false, false, false, false, false},
+};
+
+constexpr LockMode kSup[6][6] = {
+    /* NL  */ {LockMode::kNL, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* IS  */ {LockMode::kIS, LockMode::kIS, LockMode::kIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* IX  */ {LockMode::kIX, LockMode::kIX, LockMode::kIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX},
+    /* S   */ {LockMode::kS, LockMode::kS, LockMode::kSIX, LockMode::kS,
+               LockMode::kSIX, LockMode::kX},
+    /* SIX */ {LockMode::kSIX, LockMode::kSIX, LockMode::kSIX, LockMode::kSIX,
+               LockMode::kSIX, LockMode::kX},
+    /* X   */ {LockMode::kX, LockMode::kX, LockMode::kX, LockMode::kX,
+               LockMode::kX, LockMode::kX},
+};
+}  // namespace
+
+bool Compatible(LockMode a, LockMode b) {
+  return kCompat[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+LockMode Supremum(LockMode a, LockMode b) {
+  return kSup[static_cast<int>(a)][static_cast<int>(b)];
+}
+
+bool Covers(LockMode held, LockMode wanted) {
+  return Supremum(held, wanted) == held;
+}
+
+LockMode IntentionFor(LockMode mode) {
+  switch (mode) {
+    case LockMode::kNL:
+      return LockMode::kNL;
+    case LockMode::kIS:
+    case LockMode::kS:
+      return LockMode::kIS;
+    case LockMode::kIX:
+    case LockMode::kSIX:
+    case LockMode::kX:
+      return LockMode::kIX;
+  }
+  return LockMode::kIX;
+}
+
+const char* LockModeName(LockMode m) {
+  switch (m) {
+    case LockMode::kNL: return "NL";
+    case LockMode::kIS: return "IS";
+    case LockMode::kIX: return "IX";
+    case LockMode::kS: return "S";
+    case LockMode::kSIX: return "SIX";
+    case LockMode::kX: return "X";
+  }
+  return "?";
+}
+
+}  // namespace doradb

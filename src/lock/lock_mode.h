@@ -1,0 +1,41 @@
+// Hierarchical lock modes (Gray's granularity-of-locks lattice).
+//
+// The Baseline engine acquires intention locks on tables automatically
+// before row locks, exactly as the paper describes Shore-MT's lock manager
+// (§3): "When a transaction attempts to acquire a lock the lock manager
+// first ensures the transaction holds higher-level intention locks,
+// requesting them automatically if needed."
+
+#ifndef DORADB_LOCK_LOCK_MODE_H_
+#define DORADB_LOCK_LOCK_MODE_H_
+
+#include <cstdint>
+
+namespace doradb {
+
+enum class LockMode : uint8_t {
+  kNL = 0,   // not locked
+  kIS = 1,   // intention shared
+  kIX = 2,   // intention exclusive
+  kS = 3,    // shared
+  kSIX = 4,  // shared + intention exclusive
+  kX = 5,    // exclusive
+};
+
+// True if a and b may be held simultaneously by different transactions.
+bool Compatible(LockMode a, LockMode b);
+
+// Least upper bound: the weakest mode that covers both (upgrade target).
+LockMode Supremum(LockMode a, LockMode b);
+
+// True if `held` already covers `wanted` (no new request needed).
+bool Covers(LockMode held, LockMode wanted);
+
+// Intention mode to hold on the parent when locking a child with `mode`.
+LockMode IntentionFor(LockMode mode);
+
+const char* LockModeName(LockMode m);
+
+}  // namespace doradb
+
+#endif  // DORADB_LOCK_LOCK_MODE_H_

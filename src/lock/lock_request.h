@@ -1,0 +1,39 @@
+// Lock request node, owned by its transaction, linked into a LockHead's
+// request list (the structure whose traversal cost the paper identifies as
+// growing with the number of active transactions, §3).
+
+#ifndef DORADB_LOCK_LOCK_REQUEST_H_
+#define DORADB_LOCK_LOCK_REQUEST_H_
+
+#include <atomic>
+
+#include "lock/lock_id.h"
+#include "lock/lock_mode.h"
+
+namespace doradb {
+
+class Transaction;
+struct LockHead;
+
+struct LockRequest {
+  Transaction* txn = nullptr;
+  LockHead* head = nullptr;
+  LockId lock_id{};
+  // Mode currently granted to this request (kNL while purely waiting).
+  LockMode granted_mode = LockMode::kNL;
+  // Mode the request wants; > granted_mode while an upgrade is pending.
+  LockMode target_mode = LockMode::kNL;
+  // Wait protocol: the releasing thread sets granted; the waiter spins/naps
+  // on it. The deadlock detector may set victim instead.
+  std::atomic<bool> granted{false};
+  std::atomic<bool> victim{false};
+
+  LockRequest* next = nullptr;
+  LockRequest* prev = nullptr;
+
+  bool Waiting() const { return target_mode != granted_mode; }
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOCK_LOCK_REQUEST_H_

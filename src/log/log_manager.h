@@ -1,0 +1,93 @@
+// Central write-ahead log with group commit.
+//
+// All transactions append through one latched buffer — the paper observes
+// (§5.4) that once DORA removes lock-manager contention, "the log manager
+// becomes the new bottleneck" for write-heavy workloads (TPC-B, TPC-C
+// NewOrder/Payment); spin time on the buffer latch is charged to
+// TimeClass::kLogContention so benchmarks can show exactly that.
+//
+// Durability model: a background flusher moves buffered bytes to the
+// "stable" region (the paper's in-memory log file system) and advances
+// flushed_lsn. Commit waits until its commit record is covered. A crash
+// (SimulateCrash) discards the volatile buffer; recovery reads only the
+// stable region and must tolerate a torn tail.
+
+#ifndef DORADB_LOG_LOG_MANAGER_H_
+#define DORADB_LOG_LOG_MANAGER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "log/log_record.h"
+#include "util/spinlock.h"
+#include "util/status.h"
+
+namespace doradb {
+
+class LogManager {
+ public:
+  struct Options {
+    uint64_t flush_interval_us = 50;  // group-commit window
+    bool synchronous = false;         // flush inline on every append (tests)
+  };
+
+  explicit LogManager(Options options);
+  LogManager() : LogManager(Options()) {}
+  ~LogManager();
+  LogManager(const LogManager&) = delete;
+  LogManager& operator=(const LogManager&) = delete;
+
+  // Append a record; assigns and returns its LSN (end-of-record byte
+  // offset, so flushed_lsn >= lsn means the record is durable).
+  Lsn Append(LogRecord* rec);
+
+  // Block until everything up to `lsn` is stable (group commit wait).
+  void WaitFlushed(Lsn lsn);
+  // Trigger + wait: used by the buffer pool's WAL rule before page steals.
+  void FlushTo(Lsn lsn);
+
+  Lsn flushed_lsn() const {
+    return flushed_lsn_.load(std::memory_order_acquire);
+  }
+  Lsn current_lsn() const {
+    return next_lsn_.load(std::memory_order_relaxed);
+  }
+
+  // Crash simulation: drop all unflushed bytes.
+  void DiscardVolatileTail();
+
+  // Recovery: decode the stable region (tolerates a torn last record).
+  std::vector<LogRecord> ReadStable() const;
+
+  uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  size_t stable_size() const;
+
+ private:
+  void FlusherLoop();
+  // Moves the volatile buffer into the stable region. Returns new flushed lsn.
+  Lsn DoFlush();
+
+  const Options options_;
+
+  TatasLock buffer_latch_;          // guards buffer_ and next_lsn_ assignment
+  std::vector<uint8_t> buffer_;     // volatile tail [flushed_lsn_, next_lsn_)
+  std::atomic<Lsn> next_lsn_{1};    // LSN 0 is kInvalidLsn
+  std::atomic<Lsn> flushed_lsn_{1};
+
+  mutable std::mutex stable_mu_;
+  std::vector<uint8_t> stable_;     // the "disk" image of the log
+
+  std::atomic<bool> stop_{false};
+  std::thread flusher_;
+
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> flushes_{0};
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOG_LOG_MANAGER_H_

@@ -1,0 +1,111 @@
+#include "log/log_record.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace doradb {
+
+namespace {
+
+template <typename T>
+void Put(std::vector<uint8_t>* out, T v) {
+  const size_t n = out->size();
+  out->resize(n + sizeof(T));
+  std::memcpy(out->data() + n, &v, sizeof(T));
+}
+
+void PutBytes(std::vector<uint8_t>* out, const std::string& s) {
+  Put<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  const size_t n = out->size();
+  out->resize(n + s.size());
+  std::memcpy(out->data() + n, s.data(), s.size());
+}
+
+template <typename T>
+bool Get(const std::vector<uint8_t>& in, size_t* off, T* v) {
+  if (*off + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *off, sizeof(T));
+  *off += sizeof(T);
+  return true;
+}
+
+bool GetBytes(const std::vector<uint8_t>& in, size_t* off, std::string* s) {
+  uint32_t len;
+  if (!Get(in, off, &len)) return false;
+  if (*off + len > in.size()) return false;
+  s->assign(reinterpret_cast<const char*>(in.data() + *off), len);
+  *off += len;
+  return true;
+}
+
+}  // namespace
+
+size_t LogRecord::SerializeTo(std::vector<uint8_t>* out) const {
+  const size_t start = out->size();
+  Put<uint32_t>(out, 0);  // placeholder for total length
+  Put<uint8_t>(out, static_cast<uint8_t>(type));
+  Put<uint64_t>(out, txn);
+  Put<uint64_t>(out, lsn);
+  Put<uint64_t>(out, prev_lsn);
+  Put<uint16_t>(out, table);
+  Put<uint64_t>(out, rid.Pack());
+  Put<uint64_t>(out, undo_next);
+  Put<uint8_t>(out, static_cast<uint8_t>(clr_action));
+  PutBytes(out, before);
+  PutBytes(out, after);
+  Put<uint32_t>(out, static_cast<uint32_t>(active_txns.size()));
+  for (TxnId t : active_txns) Put<uint64_t>(out, t);
+  const uint32_t total = static_cast<uint32_t>(out->size() - start);
+  std::memcpy(out->data() + start, &total, sizeof(total));
+  return total;
+}
+
+bool LogRecord::DeserializeFrom(const std::vector<uint8_t>& data,
+                                size_t* offset, LogRecord* out) {
+  size_t off = *offset;
+  uint32_t total;
+  if (!Get(data, &off, &total)) return false;
+  if (*offset + total > data.size()) return false;  // torn tail
+  uint8_t type8;
+  if (!Get(data, &off, &type8)) return false;
+  out->type = static_cast<LogType>(type8);
+  if (!Get(data, &off, &out->txn)) return false;
+  if (!Get(data, &off, &out->lsn)) return false;
+  if (!Get(data, &off, &out->prev_lsn)) return false;
+  if (!Get(data, &off, &out->table)) return false;
+  uint64_t rid_pack;
+  if (!Get(data, &off, &rid_pack)) return false;
+  out->rid = Rid::Unpack(rid_pack);
+  if (!Get(data, &off, &out->undo_next)) return false;
+  uint8_t clr8;
+  if (!Get(data, &off, &clr8)) return false;
+  out->clr_action = static_cast<LogType>(clr8);
+  if (!GetBytes(data, &off, &out->before)) return false;
+  if (!GetBytes(data, &off, &out->after)) return false;
+  uint32_t nactive;
+  if (!Get(data, &off, &nactive)) return false;
+  out->active_txns.clear();
+  for (uint32_t i = 0; i < nactive; ++i) {
+    TxnId t;
+    if (!Get(data, &off, &t)) return false;
+    out->active_txns.push_back(t);
+  }
+  *offset = *offset + total;
+  return true;
+}
+
+std::string LogRecord::ToString() const {
+  static const char* kNames[] = {"?",      "BEGIN", "INSERT", "UPDATE",
+                                 "DELETE", "COMMIT", "ABORT",  "END",
+                                 "CLR",    "CKPT"};
+  std::ostringstream os;
+  os << "[" << lsn << "] " << kNames[static_cast<int>(type)] << " txn="
+     << txn << " prev=" << prev_lsn;
+  if (type == LogType::kInsert || type == LogType::kUpdate ||
+      type == LogType::kDelete || type == LogType::kClr) {
+    os << " table=" << table << " rid=" << rid.ToString();
+  }
+  return os.str();
+}
+
+}  // namespace doradb

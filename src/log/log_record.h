@@ -1,0 +1,58 @@
+// ARIES-style physiological log records.
+//
+// Heap operations are logged with full before/after images chained per
+// transaction through prev_lsn; compensation records (CLRs) carry undo_next.
+// Index operations are not logged: indexes are treated as derived state and
+// rebuilt from the heaps at restart (see DESIGN.md, "Fidelity notes").
+
+#ifndef DORADB_LOG_LOG_RECORD_H_
+#define DORADB_LOG_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/types.h"
+
+namespace doradb {
+
+enum class LogType : uint8_t {
+  kBegin = 1,
+  kInsert = 2,
+  kUpdate = 3,
+  kDelete = 4,
+  kCommit = 5,
+  kAbort = 6,   // abort decided; CLRs follow
+  kEnd = 7,     // transaction fully finished (after commit or rollback)
+  kClr = 8,     // compensation: redo-only
+  kCheckpoint = 9,
+};
+
+struct LogRecord {
+  LogType type = LogType::kBegin;
+  TxnId txn = kInvalidTxnId;
+  Lsn lsn = kInvalidLsn;        // assigned by the log manager
+  Lsn prev_lsn = kInvalidLsn;   // previous record of the same transaction
+  TableId table = 0;
+  Rid rid{};
+  std::string before;           // old image (kUpdate, kDelete)
+  std::string after;            // new image (kInsert, kUpdate, kClr redo)
+  Lsn undo_next = kInvalidLsn;  // kClr: next record to undo
+  // kClr: the operation this CLR compensates, to make its redo applicable.
+  LogType clr_action = LogType::kBegin;
+  // kCheckpoint: transactions active at checkpoint time.
+  std::vector<TxnId> active_txns;
+
+  // Wire encoding (appended to `out`); returns encoded size.
+  size_t SerializeTo(std::vector<uint8_t>* out) const;
+  // Decodes one record at `data + offset`; advances offset. False if the
+  // buffer is exhausted or the record is torn (partial tail write).
+  static bool DeserializeFrom(const std::vector<uint8_t>& data,
+                              size_t* offset, LogRecord* out);
+
+  std::string ToString() const;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOG_LOG_RECORD_H_

@@ -1,0 +1,68 @@
+// ARIES restart recovery: Analysis — Redo (repeating history) — Undo.
+//
+// Adaptations for this engine (see DESIGN.md "Fidelity notes"):
+//  * Heap page lists are rediscovered by scanning the disk image for pages
+//    whose header says kHeap (plus pages named by redo records that never
+//    reached the disk).
+//  * Deletes are "ghost until commit": the physical slot free happens after
+//    commit, so redo applies kDelete records only for committed
+//    transactions, and loser undo skips them.
+//  * Indexes are derived state, rebuilt by a schema-aware callback after
+//    the heaps are consistent.
+
+#ifndef DORADB_LOG_RECOVERY_H_
+#define DORADB_LOG_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "log/log_record.h"
+#include "util/status.h"
+
+namespace doradb {
+
+class Database;
+
+class RecoveryDriver {
+ public:
+  struct Stats {
+    size_t records_scanned = 0;
+    size_t winners = 0;
+    size_t losers = 0;
+    size_t redo_applied = 0;
+    size_t redo_skipped_lsn = 0;  // page LSN said already applied
+    size_t undo_applied = 0;
+    size_t heap_pages_adopted = 0;
+  };
+
+  explicit RecoveryDriver(Database* db) : db_(db) {}
+
+  Status Run(const std::function<Status(Database*)>& rebuild_indexes);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Status Analysis();
+  Status RebuildHeapDirectory();
+  Status Redo();
+  Status UndoLosers();
+
+  // Fetch-or-init the heap page `pid` of `table` and return its page LSN.
+  Status PageLsnOf(TableId table, PageId pid, Lsn* lsn);
+
+  Database* const db_;
+  Stats stats_;
+
+  std::vector<LogRecord> records_;
+  std::unordered_map<Lsn, const LogRecord*> by_lsn_;
+  std::unordered_set<TxnId> committed_;
+  std::unordered_set<TxnId> ended_;  // kEnd seen (finished rollback/commit)
+  std::unordered_map<TxnId, Lsn> last_lsn_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOG_RECOVERY_H_

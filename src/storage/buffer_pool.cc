@@ -1,0 +1,186 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace doradb {
+
+PageGuard::PageGuard(BufferPool* pool, size_t frame_idx, uint8_t* data)
+    : pool_(pool), frame_idx_(frame_idx), data_(data) {}
+
+PageGuard& PageGuard::operator=(PageGuard&& o) noexcept {
+  if (this != &o) {
+    Release();
+    pool_ = o.pool_;
+    frame_idx_ = o.frame_idx_;
+    data_ = o.data_;
+    latch_state_ = o.latch_state_;
+    o.pool_ = nullptr;
+    o.data_ = nullptr;
+    o.latch_state_ = LatchState::kNone;
+  }
+  return *this;
+}
+
+void PageGuard::LatchShared() {
+  assert(latch_state_ == LatchState::kNone);
+  pool_->frames_[frame_idx_].latch.ReadLock(TimeClass::kBufferContention);
+  latch_state_ = LatchState::kShared;
+}
+
+void PageGuard::LatchExclusive() {
+  assert(latch_state_ == LatchState::kNone);
+  pool_->frames_[frame_idx_].latch.WriteLock(TimeClass::kBufferContention);
+  latch_state_ = LatchState::kExclusive;
+}
+
+void PageGuard::Unlatch() {
+  if (latch_state_ == LatchState::kShared) {
+    pool_->frames_[frame_idx_].latch.ReadUnlock();
+  } else if (latch_state_ == LatchState::kExclusive) {
+    pool_->frames_[frame_idx_].latch.WriteUnlock();
+  }
+  latch_state_ = LatchState::kNone;
+}
+
+void PageGuard::MarkDirty() {
+  assert(latch_state_ == LatchState::kExclusive);
+  pool_->frames_[frame_idx_].dirty = true;
+}
+
+void PageGuard::Release() {
+  if (pool_ == nullptr) return;
+  Unlatch();
+  pool_->Unpin(frame_idx_);
+  pool_ = nullptr;
+  data_ = nullptr;
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t num_frames)
+    : disk_(disk),
+      num_frames_(num_frames),
+      slab_(std::make_unique<uint8_t[]>(num_frames * kPageSize)),
+      frames_(std::make_unique<Frame[]>(num_frames)) {
+  page_table_.reserve(num_frames * 2);
+}
+
+BufferPool::~BufferPool() { (void)FlushAll(); }
+
+bool BufferPool::AllocateFrame(size_t* out_idx) {
+  // CLOCK sweep: at most two full passes (first clears reference bits).
+  for (size_t scanned = 0; scanned < num_frames_ * 2; ++scanned) {
+    Frame& f = frames_[clock_hand_];
+    const size_t idx = clock_hand_;
+    clock_hand_ = (clock_hand_ + 1) % num_frames_;
+    if (f.page_id == kInvalidPageId) {
+      *out_idx = idx;
+      return true;
+    }
+    if (f.pin_count.load(std::memory_order_relaxed) != 0) continue;
+    if (f.referenced) {
+      f.referenced = false;
+      continue;
+    }
+    // Victim found: write back if dirty, then unmap.
+    if (f.dirty) {
+      const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(idx));
+      if (wal_flush_) wal_flush_(hdr->page_lsn);
+      disk_->WritePage(f.page_id, FrameData(idx));
+      f.dirty = false;
+    }
+    page_table_.erase(f.page_id);
+    f.page_id = kInvalidPageId;
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    *out_idx = idx;
+    return true;
+  }
+  return false;
+}
+
+Status BufferPool::NewPage(PageGuard* out, PageId* page_id) {
+  const PageId id = disk_->AllocatePage();
+  TatasGuard g(map_lock_, TimeClass::kBufferContention);
+  size_t idx;
+  if (!AllocateFrame(&idx)) return Status::Full("all frames pinned");
+  Frame& f = frames_[idx];
+  f.page_id = id;
+  f.referenced = true;
+  f.dirty = true;  // a new page must eventually reach the disk image
+  f.pin_count.store(1, std::memory_order_relaxed);
+  std::memset(FrameData(idx), 0, kPageSize);
+  page_table_[id] = idx;
+  *out = PageGuard(this, idx, FrameData(idx));
+  *page_id = id;
+  return Status::OK();
+}
+
+Status BufferPool::FetchPage(PageId page_id, PageGuard* out) {
+  TatasGuard g(map_lock_, TimeClass::kBufferContention);
+  auto it = page_table_.find(page_id);
+  if (it != page_table_.end()) {
+    Frame& f = frames_[it->second];
+    f.pin_count.fetch_add(1, std::memory_order_relaxed);
+    f.referenced = true;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    *out = PageGuard(this, it->second, FrameData(it->second));
+    return Status::OK();
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  size_t idx;
+  if (!AllocateFrame(&idx)) return Status::Full("all frames pinned");
+  DORADB_RETURN_NOT_OK(disk_->ReadPage(page_id, FrameData(idx)));
+  Frame& f = frames_[idx];
+  f.page_id = page_id;
+  f.referenced = true;
+  f.dirty = false;
+  f.pin_count.store(1, std::memory_order_relaxed);
+  page_table_[page_id] = idx;
+  *out = PageGuard(this, idx, FrameData(idx));
+  return Status::OK();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  TatasGuard g(map_lock_, TimeClass::kBufferContention);
+  auto it = page_table_.find(page_id);
+  if (it == page_table_.end()) return Status::NotFound("page not resident");
+  Frame& f = frames_[it->second];
+  if (f.dirty) {
+    const auto* hdr =
+        reinterpret_cast<const PageHeaderBase*>(FrameData(it->second));
+    if (wal_flush_) wal_flush_(hdr->page_lsn);
+    DORADB_RETURN_NOT_OK(disk_->WritePage(page_id, FrameData(it->second)));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushAll() {
+  TatasGuard g(map_lock_, TimeClass::kBufferContention);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    if (f.page_id == kInvalidPageId || !f.dirty) continue;
+    const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(i));
+    if (wal_flush_) wal_flush_(hdr->page_lsn);
+    DORADB_RETURN_NOT_OK(disk_->WritePage(f.page_id, FrameData(i)));
+    f.dirty = false;
+  }
+  return Status::OK();
+}
+
+void BufferPool::DiscardAll() {
+  TatasGuard g(map_lock_, TimeClass::kBufferContention);
+  for (size_t i = 0; i < num_frames_; ++i) {
+    frames_[i].page_id = kInvalidPageId;
+    frames_[i].pin_count.store(0, std::memory_order_relaxed);
+    frames_[i].referenced = false;
+    frames_[i].dirty = false;
+  }
+  page_table_.clear();
+  clock_hand_ = 0;
+}
+
+void BufferPool::Unpin(size_t frame_idx) {
+  frames_[frame_idx].pin_count.fetch_sub(1, std::memory_order_release);
+}
+
+}  // namespace doradb

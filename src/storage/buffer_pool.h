@@ -1,0 +1,136 @@
+// Buffer pool with CLOCK replacement (the Shore-MT substrate's design).
+//
+// All tables share one pool ("all data resides in the same bufferpool",
+// §4.1.1 — DORA's partitioning is purely logical). Frames are pinned by
+// PageGuard RAII handles; physical consistency within a page is protected by
+// a per-frame reader-writer latch, attributed to TimeClass::kBufferContention
+// when contended.
+//
+// WAL rule: a dirty page may only be written back after the log has been
+// flushed up to the page's LSN; the pool calls the registered wal-flush
+// callback before every dirty eviction/flush.
+
+#ifndef DORADB_STORAGE_BUFFER_POOL_H_
+#define DORADB_STORAGE_BUFFER_POOL_H_
+
+#include <atomic>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "storage/disk_manager.h"
+#include "storage/slotted_page.h"
+#include "storage/types.h"
+#include "util/rwlatch.h"
+#include "util/spinlock.h"
+#include "util/status.h"
+
+namespace doradb {
+
+class BufferPool;
+
+// RAII pin on a page frame. Move-only. Latching is explicit (callers decide
+// shared vs exclusive); the destructor releases any held latch and the pin.
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(BufferPool* pool, size_t frame_idx, uint8_t* data);
+  ~PageGuard() { Release(); }
+
+  PageGuard(PageGuard&& o) noexcept { *this = std::move(o); }
+  PageGuard& operator=(PageGuard&& o) noexcept;
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  bool Valid() const { return pool_ != nullptr; }
+
+  void LatchShared();
+  void LatchExclusive();
+  void Unlatch();
+
+  // Mark the frame dirty (must hold the exclusive latch).
+  void MarkDirty();
+
+  uint8_t* data() { return data_; }
+  SlottedPage AsSlotted() { return SlottedPage(data_); }
+
+  // Unpin (and unlatch) immediately.
+  void Release();
+
+ private:
+  enum class LatchState { kNone, kShared, kExclusive };
+
+  BufferPool* pool_ = nullptr;
+  size_t frame_idx_ = 0;
+  uint8_t* data_ = nullptr;
+  LatchState latch_state_ = LatchState::kNone;
+};
+
+class BufferPool {
+ public:
+  BufferPool(DiskManager* disk, size_t num_frames);
+  ~BufferPool();
+
+  // Called with the page LSN before any dirty page write-back.
+  void SetWalFlushCallback(std::function<void(Lsn)> cb) {
+    wal_flush_ = std::move(cb);
+  }
+
+  // Allocate + pin a fresh, zero-initialized page.
+  Status NewPage(PageGuard* out, PageId* page_id);
+
+  // Pin an existing page, reading it from disk on miss.
+  Status FetchPage(PageId page_id, PageGuard* out);
+
+  Status FlushPage(PageId page_id);
+  Status FlushAll();
+
+  // Crash simulation: drop every frame WITHOUT writing dirty pages back.
+  // All pins must have been released (the system is quiesced).
+  void DiscardAll();
+
+  size_t num_frames() const { return num_frames_; }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    std::atomic<uint32_t> pin_count{0};
+    bool referenced = false;
+    bool dirty = false;
+    RwLatch latch;
+  };
+
+  // Find a free or evictable frame; returns false if every frame is pinned.
+  // Called with map_lock_ held; may perform write-back I/O.
+  bool AllocateFrame(size_t* out_idx);
+
+  void Unpin(size_t frame_idx);
+
+  uint8_t* FrameData(size_t idx) { return slab_.get() + idx * kPageSize; }
+
+  DiskManager* const disk_;
+  const size_t num_frames_;
+  std::unique_ptr<uint8_t[]> slab_;
+  std::unique_ptr<Frame[]> frames_;
+
+  TatasLock map_lock_;  // guards page_table_, frame metadata, clock hand
+  std::unordered_map<PageId, size_t> page_table_;
+  size_t clock_hand_ = 0;
+
+  std::function<void(Lsn)> wal_flush_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_BUFFER_POOL_H_

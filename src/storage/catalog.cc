@@ -1,0 +1,63 @@
+#include "storage/catalog.h"
+
+namespace doradb {
+
+Status Catalog::CreateTable(const std::string& name, TableId* id) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (const auto& t : tables_) {
+    if (t->name == name) return Status::Duplicate("table exists: " + name);
+  }
+  auto info = std::make_unique<TableInfo>();
+  info->id = static_cast<TableId>(tables_.size());
+  info->name = name;
+  info->heap = std::make_unique<HeapFile>(pool_, info->id);
+  *id = info->id;
+  tables_.push_back(std::move(info));
+  return Status::OK();
+}
+
+Status Catalog::CreateIndex(TableId table, const std::string& name,
+                            bool unique, bool secondary, IndexId* id) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (table >= tables_.size()) {
+    return Status::InvalidArgument("no such table");
+  }
+  for (const auto& i : indexes_) {
+    if (i->name == name) return Status::Duplicate("index exists: " + name);
+  }
+  auto info = std::make_unique<IndexInfo>();
+  info->id = static_cast<IndexId>(indexes_.size());
+  info->name = name;
+  info->table_id = table;
+  info->unique = unique;
+  info->secondary = secondary;
+  info->tree = std::make_unique<BTree>(pool_, info->id, unique);
+  tables_[table]->indexes.push_back(info->id);
+  *id = info->id;
+  indexes_.push_back(std::move(info));
+  return Status::OK();
+}
+
+TableInfo* Catalog::GetTable(TableId id) {
+  return id < tables_.size() ? tables_[id].get() : nullptr;
+}
+
+TableInfo* Catalog::GetTable(const std::string& name) {
+  for (const auto& t : tables_) {
+    if (t->name == name) return t.get();
+  }
+  return nullptr;
+}
+
+IndexInfo* Catalog::GetIndex(IndexId id) {
+  return id < indexes_.size() ? indexes_[id].get() : nullptr;
+}
+
+IndexInfo* Catalog::GetIndex(const std::string& name) {
+  for (const auto& i : indexes_) {
+    if (i->name == name) return i.get();
+  }
+  return nullptr;
+}
+
+}  // namespace doradb

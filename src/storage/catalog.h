@@ -1,0 +1,88 @@
+// Catalog: registry of tables (heap files) and indexes (B+Trees).
+//
+// Mirrors the paper's prototype arrangement (§4.3): "the database metadata
+// and back-end processing are schema-agnostic and general purpose, but the
+// [transaction] code is schema-aware" — workloads serialize their own record
+// structs; the catalog only names tables, owns their storage objects, and
+// records which indexes belong to which table.
+
+#ifndef DORADB_STORAGE_CATALOG_H_
+#define DORADB_STORAGE_CATALOG_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/btree.h"
+#include "storage/heap_file.h"
+#include "storage/types.h"
+#include "util/status.h"
+
+namespace doradb {
+
+struct IndexInfo {
+  IndexId id;
+  std::string name;
+  TableId table_id;
+  bool unique;
+  // True for indexes whose key does not embed all routing fields; their
+  // leaf entries carry routing fields in `aux` and probes to them become
+  // DORA "secondary actions" (§4.2.2).
+  bool secondary;
+  std::unique_ptr<BTree> tree;
+};
+
+struct TableInfo {
+  TableId id;
+  std::string name;
+  std::unique_ptr<HeapFile> heap;
+  std::vector<IndexId> indexes;
+};
+
+class Catalog {
+ public:
+  explicit Catalog(BufferPool* pool) : pool_(pool) {}
+
+  // Create a table; names must be unique.
+  Status CreateTable(const std::string& name, TableId* id);
+
+  // Create an index on a table.
+  Status CreateIndex(TableId table, const std::string& name, bool unique,
+                     bool secondary, IndexId* id);
+
+  TableInfo* GetTable(TableId id);
+  TableInfo* GetTable(const std::string& name);
+  IndexInfo* GetIndex(IndexId id);
+  IndexInfo* GetIndex(const std::string& name);
+
+  HeapFile* Heap(TableId id) {
+    TableInfo* t = GetTable(id);
+    return t == nullptr ? nullptr : t->heap.get();
+  }
+  BTree* Index(IndexId id) {
+    IndexInfo* i = GetIndex(id);
+    return i == nullptr ? nullptr : i->tree.get();
+  }
+
+  size_t num_tables() const { return tables_.size(); }
+  size_t num_indexes() const { return indexes_.size(); }
+
+  // Stable iteration for recovery / integrity checks.
+  const std::vector<std::unique_ptr<TableInfo>>& tables() const {
+    return tables_;
+  }
+  const std::vector<std::unique_ptr<IndexInfo>>& indexes() const {
+    return indexes_;
+  }
+
+ private:
+  BufferPool* const pool_;
+  mutable std::mutex mu_;  // DDL only; the hot path never takes it
+  std::vector<std::unique_ptr<TableInfo>> tables_;
+  std::vector<std::unique_ptr<IndexInfo>> indexes_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_CATALOG_H_

@@ -1,0 +1,70 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+#include "util/clock.h"
+
+namespace doradb {
+
+DiskManager::DiskManager(uint64_t simulated_latency_ns)
+    : simulated_latency_ns_(simulated_latency_ns) {}
+
+PageId DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> g(mu_);
+  allocated_.fetch_add(1, std::memory_order_relaxed);
+  if (!free_list_.empty()) {
+    const PageId id = free_list_.back();
+    free_list_.pop_back();
+    return id;
+  }
+  const PageId id = next_page_id_++;
+  const size_t extent = id / kPagesPerExtent;
+  if (extent >= extents_.size()) {
+    extents_.push_back(
+        std::make_unique<uint8_t[]>(kPagesPerExtent * kPageSize));
+  }
+  return id;
+}
+
+void DiskManager::DeallocatePage(PageId page_id) {
+  std::lock_guard<std::mutex> g(mu_);
+  allocated_.fetch_sub(1, std::memory_order_relaxed);
+  free_list_.push_back(page_id);
+}
+
+uint8_t* DiskManager::FrameFor(PageId page_id) {
+  const size_t extent = page_id / kPagesPerExtent;
+  const size_t off = (page_id % kPagesPerExtent) * kPageSize;
+  std::lock_guard<std::mutex> g(mu_);
+  if (extent >= extents_.size()) return nullptr;
+  return extents_[extent].get() + off;
+}
+
+void DiskManager::SimulateLatency() {
+  if (simulated_latency_ns_ == 0) return;
+  const uint64_t start = Cycles::Now();
+  const uint64_t target =
+      static_cast<uint64_t>(simulated_latency_ns_ * Cycles::PerNanosecond());
+  while (Cycles::Now() - start < target) {
+  }
+}
+
+Status DiskManager::ReadPage(PageId page_id, void* out) {
+  uint8_t* frame = FrameFor(page_id);
+  if (frame == nullptr) return Status::IOError("page beyond device size");
+  SimulateLatency();
+  std::memcpy(out, frame, kPageSize);
+  reads_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId page_id, const void* data) {
+  uint8_t* frame = FrameFor(page_id);
+  if (frame == nullptr) return Status::IOError("page beyond device size");
+  SimulateLatency();
+  std::memcpy(frame, data, kPageSize);
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+}  // namespace doradb

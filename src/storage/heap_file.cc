@@ -1,0 +1,187 @@
+#include "storage/heap_file.h"
+
+namespace doradb {
+
+HeapFile::HeapFile(BufferPool* pool, TableId table_id)
+    : pool_(pool), table_id_(table_id) {}
+
+size_t HeapFile::page_count() const {
+  TatasGuard g(meta_lock_, TimeClass::kBufferContention);
+  return pages_.size();
+}
+
+void HeapFile::AdoptPages(std::vector<PageId> pages, uint64_t record_count) {
+  TatasGuard g(meta_lock_, TimeClass::kBufferContention);
+  pages_ = std::move(pages);
+  reuse_hints_.clear();
+  fill_page_ = pages_.empty() ? kInvalidPageId : pages_.back();
+  record_count_.store(record_count, std::memory_order_relaxed);
+}
+
+void HeapFile::EnsureRegistered(PageId pid) {
+  TatasGuard g(meta_lock_, TimeClass::kBufferContention);
+  for (PageId p : pages_) {
+    if (p == pid) return;
+  }
+  pages_.push_back(pid);
+}
+
+Status HeapFile::PageForInsert(size_t size, PageGuard* guard,
+                               PageId* page_id) {
+  // Candidate order: reuse hints (pages with freed space), then the current
+  // fill page, then a fresh allocation.
+  std::vector<PageId> candidates;
+  {
+    TatasGuard g(meta_lock_, TimeClass::kBufferContention);
+    while (!reuse_hints_.empty()) {
+      candidates.push_back(reuse_hints_.back());
+      reuse_hints_.pop_back();
+      if (candidates.size() >= 2) break;
+    }
+    if (fill_page_ != kInvalidPageId) candidates.push_back(fill_page_);
+  }
+  for (PageId pid : candidates) {
+    PageGuard g;
+    DORADB_RETURN_NOT_OK(pool_->FetchPage(pid, &g));
+    g.LatchExclusive();
+    if (g.AsSlotted().FreeSpace() >= size) {
+      *guard = std::move(g);
+      *page_id = pid;
+      return Status::OK();
+    }
+  }
+  // Allocate a new page and chain it.
+  PageGuard g;
+  PageId pid;
+  DORADB_RETURN_NOT_OK(pool_->NewPage(&g, &pid));
+  g.LatchExclusive();
+  g.AsSlotted().Init(pid, table_id_);
+  g.MarkDirty();
+  {
+    TatasGuard meta(meta_lock_, TimeClass::kBufferContention);
+    pages_.push_back(pid);
+    fill_page_ = pid;
+  }
+  *guard = std::move(g);
+  *page_id = pid;
+  return Status::OK();
+}
+
+Status HeapFile::Insert(std::string_view record, Rid* rid, Lsn lsn) {
+  if (record.size() > SlottedPage::MaxRecordSize()) {
+    return Status::InvalidArgument("record exceeds page capacity");
+  }
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    PageGuard guard;
+    PageId pid;
+    DORADB_RETURN_NOT_OK(PageForInsert(record.size(), &guard, &pid));
+    SlottedPage page = guard.AsSlotted();
+    SlotId slot;
+    const Status s = page.Insert(record, &slot);
+    if (s.ok()) {
+      if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
+      guard.MarkDirty();
+      rid->page_id = pid;
+      rid->slot = slot;
+      record_count_.fetch_add(1, std::memory_order_relaxed);
+      return Status::OK();
+    }
+    if (!s.IsFull()) return s;
+    // Lost the race for this page's space; retry with a fresh candidate.
+  }
+  return Status::Full("insert retries exhausted");
+}
+
+Status HeapFile::InsertAt(const Rid& rid, std::string_view record, Lsn lsn) {
+  PageGuard guard;
+  DORADB_RETURN_NOT_OK(pool_->FetchPage(rid.page_id, &guard));
+  guard.LatchExclusive();
+  SlottedPage page = guard.AsSlotted();
+  DORADB_RETURN_NOT_OK(page.InsertAt(rid.slot, record));
+  if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
+  guard.MarkDirty();
+  record_count_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status HeapFile::Delete(const Rid& rid, std::string* old_record, Lsn lsn) {
+  PageGuard guard;
+  DORADB_RETURN_NOT_OK(pool_->FetchPage(rid.page_id, &guard));
+  guard.LatchExclusive();
+  SlottedPage page = guard.AsSlotted();
+  if (old_record != nullptr) {
+    std::string_view old;
+    DORADB_RETURN_NOT_OK(page.Get(rid.slot, &old));
+    old_record->assign(old.data(), old.size());
+  }
+  DORADB_RETURN_NOT_OK(page.Delete(rid.slot));
+  if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
+  guard.MarkDirty();
+  record_count_.fetch_sub(1, std::memory_order_relaxed);
+  {
+    TatasGuard meta(meta_lock_, TimeClass::kBufferContention);
+    if (reuse_hints_.size() < 16) reuse_hints_.push_back(rid.page_id);
+  }
+  return Status::OK();
+}
+
+Status HeapFile::Update(const Rid& rid, std::string_view record,
+                        std::string* old_record, Lsn lsn) {
+  PageGuard guard;
+  DORADB_RETURN_NOT_OK(pool_->FetchPage(rid.page_id, &guard));
+  guard.LatchExclusive();
+  SlottedPage page = guard.AsSlotted();
+  if (old_record != nullptr) {
+    std::string_view old;
+    DORADB_RETURN_NOT_OK(page.Get(rid.slot, &old));
+    old_record->assign(old.data(), old.size());
+  }
+  DORADB_RETURN_NOT_OK(page.Update(rid.slot, record));
+  if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::StampPageLsn(PageId pid, Lsn lsn) {
+  PageGuard guard;
+  DORADB_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+  guard.LatchExclusive();
+  SlottedPage page = guard.AsSlotted();
+  if (lsn > page.page_lsn()) page.set_page_lsn(lsn);
+  guard.MarkDirty();
+  return Status::OK();
+}
+
+Status HeapFile::Get(const Rid& rid, std::string* record) const {
+  PageGuard guard;
+  DORADB_RETURN_NOT_OK(pool_->FetchPage(rid.page_id, &guard));
+  guard.LatchShared();
+  SlottedPage page = guard.AsSlotted();
+  std::string_view data;
+  DORADB_RETURN_NOT_OK(page.Get(rid.slot, &data));
+  record->assign(data.data(), data.size());
+  return Status::OK();
+}
+
+Status HeapFile::Scan(
+    const std::function<bool(const Rid&, std::string_view)>& cb) const {
+  std::vector<PageId> snapshot;
+  {
+    TatasGuard g(meta_lock_, TimeClass::kBufferContention);
+    snapshot = pages_;
+  }
+  for (PageId pid : snapshot) {
+    PageGuard guard;
+    DORADB_RETURN_NOT_OK(pool_->FetchPage(pid, &guard));
+    guard.LatchShared();
+    SlottedPage page = guard.AsSlotted();
+    for (SlotId s = 0; s < page.slot_count(); ++s) {
+      std::string_view data;
+      if (!page.Get(s, &data).ok()) continue;
+      if (!cb(Rid{pid, s}, data)) return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace doradb

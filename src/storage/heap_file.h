@@ -1,0 +1,84 @@
+// Heap file: unordered record storage for one table.
+//
+// Records are addressed by RID (page, slot) and never move across pages for
+// the lifetime of the record, so indexes can store RIDs durably. Page-level
+// physical consistency uses the buffer pool's frame latches; logical
+// consistency is the job of the lock manager (Baseline) or DORA executors.
+
+#ifndef DORADB_STORAGE_HEAP_FILE_H_
+#define DORADB_STORAGE_HEAP_FILE_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/types.h"
+#include "util/spinlock.h"
+#include "util/status.h"
+
+namespace doradb {
+
+class HeapFile {
+ public:
+  HeapFile(BufferPool* pool, TableId table_id);
+
+  TableId table_id() const { return table_id_; }
+
+  // Insert a record, stamping `lsn` on the page if valid.
+  Status Insert(std::string_view record, Rid* rid, Lsn lsn = kInvalidLsn);
+
+  // Re-insert into a specific slot (abort rollback of a delete, recovery
+  // redo). Fails with kBusy if the slot was taken by a concurrent insert —
+  // the §4.2.1 physical conflict that RID locks prevent.
+  Status InsertAt(const Rid& rid, std::string_view record,
+                  Lsn lsn = kInvalidLsn);
+
+  // Delete, optionally returning the old image (for undo logging).
+  Status Delete(const Rid& rid, std::string* old_record = nullptr,
+                Lsn lsn = kInvalidLsn);
+
+  // In-place update, optionally returning the old image.
+  Status Update(const Rid& rid, std::string_view record,
+                std::string* old_record = nullptr, Lsn lsn = kInvalidLsn);
+
+  Status Get(const Rid& rid, std::string* record) const;
+
+  // Raise the page LSN to at least `lsn` (WAL bookkeeping for operations
+  // that learn their LSN only after the page mutation, i.e. inserts).
+  Status StampPageLsn(PageId pid, Lsn lsn);
+
+  // Full scan; stop early when the callback returns false.
+  Status Scan(
+      const std::function<bool(const Rid&, std::string_view)>& cb) const;
+
+  uint64_t record_count() const {
+    return record_count_.load(std::memory_order_relaxed);
+  }
+  size_t page_count() const;
+
+  // Recovery support: replace the page list (discovered by scanning the
+  // disk image) and reset volatile hints / counters.
+  void AdoptPages(std::vector<PageId> pages, uint64_t record_count);
+  // Ensure `pid` is tracked (redo may materialize never-flushed pages).
+  void EnsureRegistered(PageId pid);
+
+ private:
+  // Pick a page to try inserting `size` bytes into; allocates when needed.
+  Status PageForInsert(size_t size, PageGuard* guard, PageId* page_id);
+
+  BufferPool* const pool_;
+  const TableId table_id_;
+
+  mutable TatasLock meta_lock_;        // guards pages_ and fill hints
+  std::vector<PageId> pages_;          // all pages ever allocated, in order
+  std::vector<PageId> reuse_hints_;    // pages that recently freed space
+  PageId fill_page_ = kInvalidPageId;  // current append target
+
+  std::atomic<uint64_t> record_count_{0};
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_HEAP_FILE_H_

@@ -1,0 +1,34 @@
+// Common prefix of every on-disk page.
+//
+// Both slotted heap pages and B+Tree node pages begin with this header so
+// that generic code (buffer-pool write-back honoring the WAL rule, recovery
+// analysis) can identify a page and read its LSN without knowing its type.
+
+#ifndef DORADB_STORAGE_PAGE_HEADER_H_
+#define DORADB_STORAGE_PAGE_HEADER_H_
+
+#include <cstdint>
+
+#include "storage/types.h"
+
+namespace doradb {
+
+enum class PageType : uint16_t {
+  kFree = 0,
+  kHeap = 1,
+  kBTreeLeaf = 2,
+  kBTreeInternal = 3,
+};
+
+struct PageHeaderBase {
+  PageId page_id;
+  uint16_t owner_id;   // TableId for heap pages, IndexId for index pages
+  PageType page_type;
+  Lsn page_lsn;        // LSN of the last logged update (ARIES redo test)
+};
+
+static_assert(sizeof(PageHeaderBase) == 16);
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_PAGE_HEADER_H_

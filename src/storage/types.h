@@ -1,0 +1,60 @@
+// Fundamental storage identifiers and constants.
+
+#ifndef DORADB_STORAGE_TYPES_H_
+#define DORADB_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace doradb {
+
+using PageId = uint32_t;
+using SlotId = uint16_t;
+using TableId = uint16_t;
+using IndexId = uint16_t;
+using TxnId = uint64_t;
+using Lsn = uint64_t;
+
+constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+constexpr TxnId kInvalidTxnId = 0;
+constexpr Lsn kInvalidLsn = 0;
+constexpr size_t kPageSize = 8192;
+
+// Record identifier: physical address of a record (page, slot). The unit of
+// DORA's residual centralized locking (§4.2.1: inserts/deletes lock the RID
+// through the centralized lock manager).
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = 0;
+
+  bool Valid() const { return page_id != kInvalidPageId; }
+
+  bool operator==(const Rid& o) const {
+    return page_id == o.page_id && slot == o.slot;
+  }
+  bool operator!=(const Rid& o) const { return !(*this == o); }
+  bool operator<(const Rid& o) const {
+    return page_id != o.page_id ? page_id < o.page_id : slot < o.slot;
+  }
+
+  uint64_t Pack() const {
+    return (static_cast<uint64_t>(page_id) << 16) | slot;
+  }
+  static Rid Unpack(uint64_t v) {
+    return Rid{static_cast<PageId>(v >> 16), static_cast<SlotId>(v & 0xFFFF)};
+  }
+  std::string ToString() const {
+    return "(" + std::to_string(page_id) + "," + std::to_string(slot) + ")";
+  }
+};
+
+struct RidHash {
+  size_t operator()(const Rid& r) const {
+    return std::hash<uint64_t>()(r.Pack());
+  }
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_TYPES_H_

@@ -1,0 +1,173 @@
+// Transaction state: identity, 2PL lock bookkeeping, in-memory undo chain,
+// waits-for edges for deadlock detection, and post-commit actions (used by
+// DORA to flag secondary-index entries outside any transaction, §4.2.2).
+
+#ifndef DORADB_TXN_TRANSACTION_H_
+#define DORADB_TXN_TRANSACTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lock/lock_request.h"
+#include "storage/types.h"
+#include "util/spinlock.h"
+
+namespace doradb {
+
+enum class TxnState : uint8_t {
+  kActive = 0,
+  kCommitted,
+  kAborted,
+};
+
+// Undo information for one heap operation, applied in reverse on abort.
+struct UndoRecord {
+  enum class Kind : uint8_t { kInsert, kUpdate, kDelete };
+  Kind kind;
+  TableId table;
+  Rid rid;
+  std::string before;  // old image for kUpdate / kDelete
+  Lsn lsn = kInvalidLsn;
+};
+
+// Logical undo for one index operation.
+struct IndexUndo {
+  enum class Kind : uint8_t { kInsert, kRemove };
+  Kind kind;
+  IndexId index;
+  std::string key;
+  Rid rid;
+  uint64_t aux = 0;
+};
+
+class Transaction {
+ public:
+  explicit Transaction(TxnId id) : id_(id) {}
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  TxnId id() const { return id_; }
+  TxnState state() const { return state_; }
+  void set_state(TxnState s) { state_ = s; }
+
+  Lsn last_lsn() const { return last_lsn_; }
+  void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
+
+  // ---- lock manager bookkeeping ----
+  //
+  // A DORA transaction's actions execute on several executor threads inside
+  // one phase, so all per-transaction bookkeeping (request pool, held-lock
+  // list, undo chains, log chaining) must tolerate concurrent callers; a
+  // short spinlock serializes them.
+
+  // Stable-address pool of request nodes for this transaction.
+  LockRequest* NewRequest() {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    request_pool_.emplace_back();
+    return &request_pool_.back();
+  }
+
+  struct HeldLock {
+    LockId id;
+    LockRequest* req;
+  };
+
+  void PushHeld(const LockId& id, LockRequest* req) {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    held_locks_.push_back(HeldLock{id, req});
+  }
+
+  // Snapshot + clear, for ReleaseAll (the transaction is quiescent then,
+  // but the snapshot keeps the invariant simple).
+  std::vector<HeldLock> TakeHeldLocks() {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    std::vector<HeldLock> out;
+    out.swap(held_locks_);
+    return out;
+  }
+
+  size_t held_count() const {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    return held_locks_.size();
+  }
+
+  LockRequest* FindHeld(const LockId& id) {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    for (const auto& h : held_locks_) {
+      if (h.id == id) return h.req;
+    }
+    return nullptr;
+  }
+
+  // Append a log record chained to this transaction (sets prev_lsn, updates
+  // last_lsn atomically w.r.t. sibling actions) and optionally record undo.
+  template <typename LogMgr, typename Rec>
+  Lsn ChainAppend(LogMgr* log, Rec* rec) {
+    TatasGuard g(bk_lock_, TimeClass::kLogWork);
+    rec->prev_lsn = last_lsn_;
+    const Lsn end = log->Append(rec);
+    last_lsn_ = rec->lsn;
+    return end;
+  }
+
+  void PushUndo(UndoRecord rec) {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    undo_.push_back(std::move(rec));
+  }
+  void PushIndexUndo(IndexUndo rec) {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    index_undo_.push_back(std::move(rec));
+  }
+
+  // ---- waits-for edges (read by the deadlock detector from any thread) ----
+
+  void SetWaitsFor(std::vector<TxnId> holders) {
+    TatasGuard g(waits_lock_, TimeClass::kLockOther);
+    waits_for_ = std::move(holders);
+  }
+  void ClearWaitsFor() {
+    TatasGuard g(waits_lock_, TimeClass::kLockOther);
+    waits_for_.clear();
+  }
+  std::vector<TxnId> WaitsForSnapshot() const {
+    TatasGuard g(waits_lock_, TimeClass::kLockOther);
+    return waits_for_;
+  }
+
+  // ---- undo chains ----
+
+  std::vector<UndoRecord>& undo() { return undo_; }
+  std::vector<IndexUndo>& index_undo() { return index_undo_; }
+
+  // Actions run after a successful commit, outside the transaction (e.g.
+  // setting the deleted flag on secondary index entries, §4.2.2).
+  void AddPostCommit(std::function<void()> fn) {
+    TatasGuard g(bk_lock_, TimeClass::kLockOther);
+    post_commit_.push_back(std::move(fn));
+  }
+  std::vector<std::function<void()>>& post_commit() { return post_commit_; }
+
+ private:
+  const TxnId id_;
+  TxnState state_ = TxnState::kActive;
+  Lsn last_lsn_ = kInvalidLsn;
+
+  mutable TatasLock bk_lock_;  // serializes bookkeeping across executors
+  std::deque<LockRequest> request_pool_;
+  std::vector<HeldLock> held_locks_;
+
+  mutable TatasLock waits_lock_;
+  std::vector<TxnId> waits_for_;
+
+  std::vector<UndoRecord> undo_;
+  std::vector<IndexUndo> index_undo_;
+  std::vector<std::function<void()>> post_commit_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_TXN_TRANSACTION_H_

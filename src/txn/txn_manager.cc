@@ -1,0 +1,37 @@
+#include "txn/txn_manager.h"
+
+namespace doradb {
+
+std::unique_ptr<Transaction> TxnManager::Begin() {
+  const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto txn = std::make_unique<Transaction>(id);
+  lm_->RegisterTxn(txn.get());
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.insert(id);
+  }
+  LogRecord rec;
+  rec.type = LogType::kBegin;
+  rec.txn = id;
+  txn->ChainAppend(log_, &rec);
+  started_.fetch_add(1, std::memory_order_relaxed);
+  return txn;
+}
+
+void TxnManager::Finish(Transaction* txn) {
+  lm_->UnregisterTxn(txn->id());
+  std::lock_guard<std::mutex> g(mu_);
+  active_.erase(txn->id());
+}
+
+std::vector<TxnId> TxnManager::ActiveTxns() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return std::vector<TxnId>(active_.begin(), active_.end());
+}
+
+size_t TxnManager::num_active() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return active_.size();
+}
+
+}  // namespace doradb

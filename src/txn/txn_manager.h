@@ -1,0 +1,48 @@
+// Transaction manager: id allocation, active-transaction bookkeeping (for
+// checkpoints), and begin-record logging. The commit/abort protocols live in
+// engine::Database, which owns the storage objects they touch.
+
+#ifndef DORADB_TXN_TXN_MANAGER_H_
+#define DORADB_TXN_TXN_MANAGER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "lock/lock_manager.h"
+#include "log/log_manager.h"
+#include "txn/transaction.h"
+
+namespace doradb {
+
+class TxnManager {
+ public:
+  TxnManager(LockManager* lm, LogManager* log) : lm_(lm), log_(log) {}
+
+  // Start a transaction: allocate an id, register it with the lock
+  // manager's deadlock detector, log kBegin.
+  std::unique_ptr<Transaction> Begin();
+
+  // Bookkeeping at transaction end (Database drives the full protocol).
+  void Finish(Transaction* txn);
+
+  std::vector<TxnId> ActiveTxns() const;
+  size_t num_active() const;
+
+  uint64_t started() const { return started_.load(std::memory_order_relaxed); }
+
+ private:
+  LockManager* const lm_;
+  LogManager* const log_;
+  std::atomic<TxnId> next_id_{1};
+  std::atomic<uint64_t> started_{0};
+
+  mutable std::mutex mu_;
+  std::unordered_set<TxnId> active_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_TXN_TXN_MANAGER_H_

@@ -1,0 +1,98 @@
+#include "util/histogram.h"
+
+#include <bit>
+#include <sstream>
+
+namespace doradb {
+
+namespace {
+size_t BucketOf(uint64_t v) {
+  if (v == 0) return 0;
+  return static_cast<size_t>(63 - std::countl_zero(v));
+}
+}  // namespace
+
+void Histogram::Record(uint64_t value_ns) {
+  buckets_[BucketOf(value_ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value_ns, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value_ns < cur &&
+         !min_.compare_exchange_weak(cur, value_ns,
+                                     std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value_ns > cur &&
+         !max_.compare_exchange_weak(cur, value_ns,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == UINT64_MAX ? 0 : m;
+}
+
+double Histogram::Mean() const {
+  const uint64_t c = Count();
+  return c == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(c);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const uint64_t lo = i == 0 ? 0 : (uint64_t{1} << i);
+      const uint64_t hi = (i >= 63) ? UINT64_MAX : (uint64_t{1} << (i + 1));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += in_bucket;
+  }
+  return Max();
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    buckets_[i].fetch_add(other.buckets_[i].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.Sum(), std::memory_order_relaxed);
+  const uint64_t omin = other.min_.load(std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (omin < cur &&
+         !min_.compare_exchange_weak(cur, omin, std::memory_order_relaxed)) {
+  }
+  const uint64_t omax = other.Max();
+  cur = max_.load(std::memory_order_relaxed);
+  while (omax > cur &&
+         !max_.compare_exchange_weak(cur, omax, std::memory_order_relaxed)) {
+  }
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  os << "count=" << Count() << " mean_us=" << Mean() / 1000.0
+     << " p50_us=" << Percentile(50) / 1000.0
+     << " p95_us=" << Percentile(95) / 1000.0
+     << " p99_us=" << Percentile(99) / 1000.0
+     << " max_us=" << static_cast<double>(Max()) / 1000.0;
+  return os.str();
+}
+
+}  // namespace doradb

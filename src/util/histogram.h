@@ -1,0 +1,49 @@
+// Concurrent log-bucketed latency histogram.
+//
+// Drivers record per-transaction latencies from many client threads; the
+// benchmark harness reads counts/percentiles afterwards (Fig. 7 response
+// times, Fig. 8 peak-throughput search).
+
+#ifndef DORADB_UTIL_HISTOGRAM_H_
+#define DORADB_UTIL_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace doradb {
+
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 64;  // bucket i covers [2^i, 2^(i+1))
+
+  Histogram() = default;
+
+  void Record(uint64_t value_ns);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  // Approximate percentile (p in [0,100]) via linear interpolation within
+  // the containing bucket.
+  uint64_t Percentile(double p) const;
+
+  void Reset();
+  void Merge(const Histogram& other);
+
+  std::string ToString() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_UTIL_HISTOGRAM_H_

@@ -1,0 +1,78 @@
+// Blocking multi-producer multi-consumer queue.
+//
+// Used for the Baseline engine's shared client-request queue (the paper's
+// conventional thread-to-transaction model: any worker pulls any request)
+// and for driver completion channels.
+
+#ifndef DORADB_UTIL_QUEUE_H_
+#define DORADB_UTIL_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+namespace doradb {
+
+template <typename T>
+class BlockingQueue {
+ public:
+  BlockingQueue() = default;
+  BlockingQueue(const BlockingQueue&) = delete;
+  BlockingQueue& operator=(const BlockingQueue&) = delete;
+
+  void Push(T item) {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+  }
+
+  // Blocks until an item is available or the queue is closed.
+  // Returns nullopt only after Close() with an empty queue.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> g(mu_);
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    return item;
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return items_.size();
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> g(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_UTIL_QUEUE_H_

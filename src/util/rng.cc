@@ -1,0 +1,138 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace doradb {
+
+namespace {
+// splitmix64, used to spread user seeds over the full state space.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  s0_ = SplitMix64(x);
+  s1_ = SplitMix64(x);
+  if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  c_nurand_ = SplitMix64(x);
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = s0_;
+  const uint64_t y = s1_;
+  s0_ = y;
+  x ^= x << 23;
+  s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+  return s1_ + y;
+}
+
+uint64_t Rng::UniformInt(uint64_t lo, uint64_t hi) {
+  return lo + Next() % (hi - lo + 1);
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(Next() %
+                                   static_cast<uint64_t>(hi - lo + 1));
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+uint64_t Rng::NURand(uint64_t a, uint64_t x, uint64_t y) {
+  const uint64_t c = c_nurand_ % (a + 1);
+  return (((UniformInt(uint64_t{0}, a) | UniformInt(x, y)) + c) %
+          (y - x + 1)) + x;
+}
+
+uint64_t Rng::TatpSubscriberId(uint64_t n) {
+  // TATP spec: A = 65535 for n <= 1M, 1048575 for n <= 10M.
+  uint64_t a;
+  if (n <= 1000000) {
+    a = 65535;
+  } else if (n <= 10000000) {
+    a = 1048575;
+  } else {
+    a = 2097151;
+  }
+  return NURand(a, 1, n);
+}
+
+std::string Rng::AString(size_t min_len, size_t max_len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const size_t len = static_cast<size_t>(
+      UniformInt(static_cast<uint64_t>(min_len),
+                 static_cast<uint64_t>(max_len)));
+  std::string out(len, ' ');
+  for (size_t i = 0; i < len; ++i) out[i] = kChars[Next() % 62];
+  return out;
+}
+
+std::string Rng::NString(size_t min_len, size_t max_len) {
+  const size_t len = static_cast<size_t>(
+      UniformInt(static_cast<uint64_t>(min_len),
+                 static_cast<uint64_t>(max_len)));
+  std::string out(len, '0');
+  for (size_t i = 0; i < len; ++i) {
+    out[i] = static_cast<char>('0' + Next() % 10);
+  }
+  return out;
+}
+
+std::string Rng::LastName(uint32_t num) {
+  static const char* kSyllables[] = {"BAR", "OUGHT", "ABLE", "PRI", "PRES",
+                                     "ESE", "ANTI",  "CALLY", "ATION", "EING"};
+  std::string out;
+  out += kSyllables[(num / 100) % 10];
+  out += kSyllables[(num / 10) % 10];
+  out += kSyllables[num % 10];
+  return out;
+}
+
+std::string Rng::RandomLastName(uint64_t max_cid) {
+  return LastName(static_cast<uint32_t>(NURand(255, 0, max_cid)));
+}
+
+std::vector<uint32_t> Rng::Permutation(uint32_t n) {
+  std::vector<uint32_t> out(n);
+  for (uint32_t i = 0; i < n; ++i) out[i] = i;
+  for (uint32_t i = n; i > 1; --i) {
+    const uint32_t j = static_cast<uint32_t>(Next() % i);
+    std::swap(out[i - 1], out[j]);
+  }
+  return out;
+}
+
+double ZipfGenerator::Zeta(uint64_t n, double theta) {
+  double sum = 0.0;
+  for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), theta);
+  return sum;
+}
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  zetan_ = Zeta(n, theta);
+  const double zeta2 = Zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / double(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+uint64_t ZipfGenerator::Next(Rng& rng) {
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 2;
+  const uint64_t v = 1 + static_cast<uint64_t>(
+      double(n_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return v > n_ ? n_ : v;
+}
+
+}  // namespace doradb

@@ -1,0 +1,81 @@
+// Random number generation for workload drivers and loaders.
+//
+// Includes the benchmark-specified distributions: TPC-C NURand, the TATP
+// (TM1) non-uniform subscriber-id rule, Zipf (for skew experiments), and the
+// TPC-C last-name syllable generator used by Payment/OrderStatus customer
+// selection by name.
+
+#ifndef DORADB_UTIL_RNG_H_
+#define DORADB_UTIL_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doradb {
+
+// xorshift128+ — fast, good-quality 64-bit generator; one instance per
+// thread (not thread-safe by design).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  uint64_t Next();
+
+  // Uniform integer in [lo, hi], inclusive.
+  uint64_t UniformInt(uint64_t lo, uint64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double UniformDouble();
+
+  // True with probability pct/100.
+  bool Percent(uint32_t pct) { return UniformInt(uint64_t{1}, 100) <= pct; }
+
+  // TPC-C 2.1.6 NURand(A, x, y) with run-time constant C.
+  uint64_t NURand(uint64_t a, uint64_t x, uint64_t y);
+
+  // TATP non-uniform subscriber id in [1, n]: (NURand-style with the
+  // benchmark's A constant chosen from the population size).
+  uint64_t TatpSubscriberId(uint64_t n);
+
+  // Random alphanumeric string with length in [min_len, max_len].
+  std::string AString(size_t min_len, size_t max_len);
+  // Random numeric string with length in [min_len, max_len].
+  std::string NString(size_t min_len, size_t max_len);
+
+  // TPC-C 4.3.2.3 customer last name from a number in [0, 999].
+  static std::string LastName(uint32_t num);
+  // Random last name for transaction input (NURand(255,0,999)).
+  std::string RandomLastName(uint64_t max_cid = 999);
+
+  // Shuffle a permutation of [0, n) (TPC-C item id permutation in loaders).
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t s0_;
+  uint64_t s1_;
+  uint64_t c_nurand_;  // per-generator NURand C constant
+};
+
+// Zipf-distributed integers in [1, n] with parameter theta — used by the
+// skew / load-balancing experiments (paper Appendix A.2.1).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta);
+  uint64_t Next(Rng& rng);
+  uint64_t n() const { return n_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+
+  static double Zeta(uint64_t n, double theta);
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_UTIL_RNG_H_

@@ -1,0 +1,176 @@
+// Spin latches.
+//
+// Shore-MT (the paper's substrate) protects lock-manager and page data
+// structures with a preemption-resistant variant of the MCS queue-based
+// spinlock [Johnson et al., DaMoN 2009]. We provide:
+//
+//  * TatasLock  — test-and-test-and-set with exponential backoff; used for
+//    short critical sections (queues, counters).
+//  * McsLock    — queue-based FIFO spinlock; used for lock-head latches where
+//    fairness under contention matters (it is exactly the spinning on these
+//    latches that Figs. 1-3 of the paper measure).
+//
+// Preemption resistance is approximated by escalating to sched_yield() after
+// a bounded number of spins, so oversubscribed runs (offered load > 100%)
+// degrade rather than livelock — preserving the paper's Fig. 6 collapse
+// behaviour for the baseline without hanging the benchmark.
+//
+// Every slow path attributes its spin time to a caller-supplied TimeClass so
+// benchmarks can reconstruct the paper's contention breakdowns.
+
+#ifndef DORADB_UTIL_SPINLOCK_H_
+#define DORADB_UTIL_SPINLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include <sched.h>
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+#include "util/sync_stats.h"
+
+namespace doradb {
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  _mm_pause();
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Exponential backoff with yield escalation shared by all spin loops.
+class Backoff {
+ public:
+  void Spin() {
+    if (count_ < kYieldThreshold) {
+      for (uint32_t i = 0; i < (1u << (count_ < 10 ? count_ : 10)); ++i) {
+        CpuRelax();
+      }
+      ++count_;
+    } else {
+      sched_yield();
+    }
+  }
+
+ private:
+  static constexpr uint32_t kYieldThreshold = 14;
+  uint32_t count_ = 0;
+};
+
+class TatasLock {
+ public:
+  TatasLock() = default;
+  TatasLock(const TatasLock&) = delete;
+  TatasLock& operator=(const TatasLock&) = delete;
+
+  bool TryLock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Lock(TimeClass contention_class = TimeClass::kOtherContention) {
+    if (TryLock()) return;
+    ScopedTimeClass timer(contention_class);
+    Backoff backoff;
+    do {
+      while (locked_.load(std::memory_order_relaxed)) backoff.Spin();
+    } while (locked_.exchange(true, std::memory_order_acquire));
+  }
+
+  void Unlock() { locked_.store(false, std::memory_order_release); }
+
+  bool IsLocked() const { return locked_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> locked_{false};
+};
+
+// RAII guard for TatasLock.
+class TatasGuard {
+ public:
+  explicit TatasGuard(TatasLock& lock,
+                      TimeClass tc = TimeClass::kOtherContention)
+      : lock_(lock) {
+    lock_.Lock(tc);
+  }
+  ~TatasGuard() { lock_.Unlock(); }
+  TatasGuard(const TatasGuard&) = delete;
+  TatasGuard& operator=(const TatasGuard&) = delete;
+
+ private:
+  TatasLock& lock_;
+};
+
+// MCS queue-based spinlock. Each waiter spins on its own cache line, and
+// hand-off is FIFO. The queue node lives in the caller's frame (see Guard);
+// the protected section must not outlive the node.
+class McsLock {
+ public:
+  struct QNode {
+    std::atomic<QNode*> next{nullptr};
+    std::atomic<bool> locked{false};
+  };
+
+  McsLock() = default;
+  McsLock(const McsLock&) = delete;
+  McsLock& operator=(const McsLock&) = delete;
+
+  void Lock(QNode* node,
+            TimeClass contention_class = TimeClass::kOtherContention) {
+    node->next.store(nullptr, std::memory_order_relaxed);
+    node->locked.store(true, std::memory_order_relaxed);
+    QNode* prev = tail_.exchange(node, std::memory_order_acq_rel);
+    if (prev == nullptr) return;  // uncontended
+    ScopedTimeClass timer(contention_class);
+    prev->next.store(node, std::memory_order_release);
+    Backoff backoff;
+    while (node->locked.load(std::memory_order_acquire)) backoff.Spin();
+  }
+
+  void Unlock(QNode* node) {
+    QNode* succ = node->next.load(std::memory_order_acquire);
+    if (succ == nullptr) {
+      QNode* expected = node;
+      if (tail_.compare_exchange_strong(expected, nullptr,
+                                        std::memory_order_acq_rel)) {
+        return;  // no successor
+      }
+      // A successor is in the middle of linking itself; wait for it.
+      Backoff backoff;
+      while ((succ = node->next.load(std::memory_order_acquire)) == nullptr) {
+        backoff.Spin();
+      }
+    }
+    succ->locked.store(false, std::memory_order_release);
+  }
+
+  bool IsLocked() const {
+    return tail_.load(std::memory_order_relaxed) != nullptr;
+  }
+
+ private:
+  std::atomic<QNode*> tail_{nullptr};
+};
+
+// RAII guard owning the MCS queue node on the stack.
+class McsGuard {
+ public:
+  explicit McsGuard(McsLock& lock, TimeClass tc = TimeClass::kOtherContention)
+      : lock_(lock) {
+    lock_.Lock(&node_, tc);
+  }
+  ~McsGuard() { lock_.Unlock(&node_); }
+  McsGuard(const McsGuard&) = delete;
+  McsGuard& operator=(const McsGuard&) = delete;
+
+ private:
+  McsLock& lock_;
+  McsLock::QNode node_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_UTIL_SPINLOCK_H_

@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+namespace doradb {
+
+namespace {
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk: return "OK";
+    case Status::Code::kNotFound: return "NotFound";
+    case Status::Code::kDuplicate: return "Duplicate";
+    case Status::Code::kDeadlock: return "Deadlock";
+    case Status::Code::kAborted: return "Aborted";
+    case Status::Code::kTimeout: return "Timeout";
+    case Status::Code::kBusy: return "Busy";
+    case Status::Code::kInvalidArgument: return "InvalidArgument";
+    case Status::Code::kFull: return "Full";
+    case Status::Code::kCorruption: return "Corruption";
+    case Status::Code::kNotSupported: return "NotSupported";
+    case Status::Code::kIOError: return "IOError";
+  }
+  return "Unknown";
+}
+}  // namespace
+
+std::string Status::ToString() const {
+  std::string out = CodeName(code_);
+  if (!msg_.empty()) {
+    out += ": ";
+    out += msg_;
+  }
+  return out;
+}
+
+}  // namespace doradb

@@ -1,0 +1,59 @@
+#include "workloads/common/breakdown.h"
+
+#include <cstdio>
+
+namespace doradb {
+
+PaperBreakdown PaperBreakdown::From(const StatsSnapshot& s) {
+  auto cy = [&](TimeClass tc) {
+    return static_cast<double>(s.Cycles(tc));
+  };
+  PaperBreakdown out;
+  out.work = cy(TimeClass::kWork) + cy(TimeClass::kLogWork);
+  out.lock_mgr = cy(TimeClass::kLockAcquire) + cy(TimeClass::kLockRelease) +
+                 cy(TimeClass::kLockOther);
+  out.lock_mgr_cont = cy(TimeClass::kLockAcquireContention) +
+                      cy(TimeClass::kLockReleaseContention) +
+                      cy(TimeClass::kLockWait);
+  out.dora = cy(TimeClass::kDoraLocalLock) + cy(TimeClass::kDoraQueue) +
+             cy(TimeClass::kDoraRvp);
+  out.other_cont = cy(TimeClass::kBufferContention) +
+                   cy(TimeClass::kLogContention) +
+                   cy(TimeClass::kOtherContention);
+
+  out.lm_acquire = cy(TimeClass::kLockAcquire);
+  out.lm_acquire_cont = cy(TimeClass::kLockAcquireContention) +
+                        cy(TimeClass::kLockWait);
+  out.lm_release = cy(TimeClass::kLockRelease);
+  out.lm_release_cont = cy(TimeClass::kLockReleaseContention);
+  out.lm_other = cy(TimeClass::kLockOther);
+  return out;
+}
+
+std::string PaperBreakdown::Row() const {
+  const double t = Total();
+  if (t == 0) return "(no samples)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "work=%5.1f%% lockmgr=%5.1f%% lockmgr_cont=%5.1f%% "
+                "dora=%5.1f%% other_cont=%5.1f%%",
+                100 * work / t, 100 * lock_mgr / t, 100 * lock_mgr_cont / t,
+                100 * dora / t, 100 * other_cont / t);
+  return buf;
+}
+
+std::string PaperBreakdown::LockManagerRow() const {
+  const double t = lm_acquire + lm_acquire_cont + lm_release +
+                   lm_release_cont + lm_other;
+  if (t == 0) return "(no lock manager time)";
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "acquire=%5.1f%% acquire_cont=%5.1f%% release=%5.1f%% "
+                "release_cont=%5.1f%% other=%5.1f%%",
+                100 * lm_acquire / t, 100 * lm_acquire_cont / t,
+                100 * lm_release / t, 100 * lm_release_cont / t,
+                100 * lm_other / t);
+  return buf;
+}
+
+}  // namespace doradb

@@ -1,0 +1,40 @@
+// Mapping from raw TimeClass accounting to the paper's breakdown categories
+// (Figs. 1-3) and the Fig. 5 lock census.
+
+#ifndef DORADB_WORKLOADS_COMMON_BREAKDOWN_H_
+#define DORADB_WORKLOADS_COMMON_BREAKDOWN_H_
+
+#include <string>
+
+#include "util/sync_stats.h"
+
+namespace doradb {
+
+// The five stacked categories of Figs. 1(b,c) and 2.
+struct PaperBreakdown {
+  double work = 0;           // useful work incl. log work
+  double lock_mgr = 0;       // uncontended lock manager code
+  double lock_mgr_cont = 0;  // latch spinning + blocked waits in the LM
+  double dora = 0;           // DORA local locks + queues + RVPs
+  double other_cont = 0;     // buffer / log latch contention
+
+  // Fig. 3's finer-grain split of time inside the lock manager.
+  double lm_acquire = 0;
+  double lm_acquire_cont = 0;
+  double lm_release = 0;
+  double lm_release_cont = 0;
+  double lm_other = 0;
+
+  static PaperBreakdown From(const StatsSnapshot& s);
+
+  // Fractions normalized over the five top categories.
+  double Total() const {
+    return work + lock_mgr + lock_mgr_cont + dora + other_cont;
+  }
+  std::string Row() const;           // "work=..% lockmgr=..% ..."
+  std::string LockManagerRow() const;  // Fig. 3 style row
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_WORKLOADS_COMMON_BREAKDOWN_H_

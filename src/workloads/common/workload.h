@@ -1,0 +1,65 @@
+// Workload interface: a benchmark = schema + loader + transaction mix, with
+// two execution paths per transaction — conventional (Baseline, thread-to-
+// transaction) and DORA (thread-to-data flow graphs) — exactly the two
+// systems the paper compares.
+
+#ifndef DORADB_WORKLOADS_COMMON_WORKLOAD_H_
+#define DORADB_WORKLOADS_COMMON_WORKLOAD_H_
+
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "dora/dora_engine.h"
+#include "engine/database.h"
+#include "util/rng.h"
+
+namespace doradb {
+
+// POD record <-> byte-string helpers (records are standard-layout structs).
+template <typename T>
+std::string_view AsBytes(const T& rec) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return std::string_view(reinterpret_cast<const char*>(&rec), sizeof(T));
+}
+
+template <typename T>
+T FromBytes(std::string_view bytes) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T out;
+  std::memcpy(&out, bytes.data(), sizeof(T));
+  return out;
+}
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  // Populate tables and indexes (called once, outside any benchmark).
+  virtual Status Load() = 0;
+
+  // Register tables + routing rules with a DORA engine (before Start()).
+  virtual void SetupDora(dora::DoraEngine* engine) = 0;
+
+  virtual uint32_t NumTxnTypes() const = 0;
+  virtual const char* TxnName(uint32_t type) const = 0;
+
+  // Draw a transaction type according to the benchmark's standard mix.
+  virtual uint32_t PickTxnType(Rng& rng) const = 0;
+
+  // Execute one transaction conventionally (begin/ops/commit inside).
+  // Status semantics: OK = committed; kAborted/kNotFound-driven aborts with
+  // code kAborted = user abort (counted as executed, per the benchmarks);
+  // kDeadlock / kTimeout = system abort.
+  virtual Status RunBaseline(uint32_t type, Rng& rng) = 0;
+
+  // Execute one transaction through DORA flow graphs (closed loop).
+  virtual Status RunDora(dora::DoraEngine* engine, uint32_t type,
+                         Rng& rng) = 0;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_WORKLOADS_COMMON_WORKLOAD_H_

@@ -1,0 +1,169 @@
+#include "workloads/tm1/tm1.h"
+
+namespace doradb {
+namespace tm1 {
+
+namespace {
+
+void FillSubNbr(uint64_t s_id, char* out /*16 bytes*/) {
+  for (int i = 14; i >= 0; --i) {
+    out[i] = static_cast<char>('0' + s_id % 10);
+    s_id /= 10;
+  }
+  out[15] = '\0';
+}
+
+}  // namespace
+
+Status Tm1Workload::Load() {
+  DORADB_RETURN_NOT_OK(schema_.Create(db_));
+  Rng rng(0xDADA);
+  const AccessOptions opts = AccessOptions::NoCc();  // single-threaded load
+
+  for (uint64_t s = 1; s <= config_.subscribers; ++s) {
+    auto txn = db_->Begin();
+
+    SubscriberRow sub{};
+    sub.s_id = s;
+    FillSubNbr(s, sub.sub_nbr);
+    sub.bits = static_cast<uint16_t>(rng.Next());
+    for (int i = 0; i < 10; ++i) {
+      sub.hex[i] = static_cast<uint8_t>(rng.UniformInt(uint64_t{0}, 15));
+      sub.bytes2[i] = static_cast<uint8_t>(rng.UniformInt(uint64_t{0}, 255));
+    }
+    sub.msc_location = static_cast<uint32_t>(rng.Next());
+    sub.vlr_location = static_cast<uint32_t>(rng.Next());
+    Rid rid;
+    DORADB_RETURN_NOT_OK(
+        db_->Insert(txn.get(), schema_.subscriber, AsBytes(sub), &rid, opts));
+    DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.sub_pk,
+                                          Schema::SubKey(s),
+                                          IndexEntry{rid, s, false}));
+    // The non-routing-aligned index stores the routing field (s_id) in aux.
+    DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.sub_nbr_idx,
+                                          Schema::SubNbrKey(sub.sub_nbr),
+                                          IndexEntry{rid, s, false}));
+
+    // 1..4 distinct access-info types (avg 2.5).
+    const uint32_t num_ai =
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{1}, uint64_t{4}));
+    auto ai_perm = rng.Permutation(4);
+    for (uint32_t i = 0; i < num_ai; ++i) {
+      AccessInfoRow ai{};
+      ai.s_id = s;
+      ai.ai_type = static_cast<uint8_t>(ai_perm[i] + 1);
+      ai.data1 = static_cast<uint8_t>(rng.Next());
+      ai.data2 = static_cast<uint8_t>(rng.Next());
+      Rid ai_rid;
+      DORADB_RETURN_NOT_OK(db_->Insert(txn.get(), schema_.access_info,
+                                       AsBytes(ai), &ai_rid, opts));
+      DORADB_RETURN_NOT_OK(
+          db_->IndexInsert(txn.get(), schema_.ai_pk,
+                           Schema::AiKey(s, ai.ai_type),
+                           IndexEntry{ai_rid, s, false}));
+    }
+
+    // 1..4 distinct special facilities; each active 85% of the time.
+    const uint32_t num_sf =
+        static_cast<uint32_t>(rng.UniformInt(uint64_t{1}, uint64_t{4}));
+    auto sf_perm = rng.Permutation(4);
+    for (uint32_t i = 0; i < num_sf; ++i) {
+      SpecialFacilityRow sf{};
+      sf.s_id = s;
+      sf.sf_type = static_cast<uint8_t>(sf_perm[i] + 1);
+      sf.is_active = rng.Percent(85) ? 1 : 0;
+      sf.error_cntrl = static_cast<uint8_t>(rng.Next());
+      sf.data_a = static_cast<uint8_t>(rng.Next());
+      Rid sf_rid;
+      DORADB_RETURN_NOT_OK(db_->Insert(txn.get(), schema_.special_facility,
+                                       AsBytes(sf), &sf_rid, opts));
+      DORADB_RETURN_NOT_OK(
+          db_->IndexInsert(txn.get(), schema_.sf_pk,
+                           Schema::SfKey(s, sf.sf_type),
+                           IndexEntry{sf_rid, s, false}));
+
+      // 0..3 call forwardings with distinct start times in {0, 8, 16}.
+      const uint32_t num_cf =
+          static_cast<uint32_t>(rng.UniformInt(uint64_t{0}, uint64_t{3}));
+      auto cf_perm = rng.Permutation(3);
+      for (uint32_t j = 0; j < num_cf; ++j) {
+        CallForwardingRow cf{};
+        cf.s_id = s;
+        cf.sf_type = sf.sf_type;
+        cf.start_time = static_cast<uint8_t>(cf_perm[j] * 8);
+        cf.end_time = static_cast<uint8_t>(
+            cf.start_time + rng.UniformInt(uint64_t{1}, uint64_t{8}));
+        FillSubNbr(rng.UniformInt(uint64_t{1}, config_.subscribers),
+                   cf.numberx);
+        Rid cf_rid;
+        DORADB_RETURN_NOT_OK(db_->Insert(txn.get(), schema_.call_forwarding,
+                                         AsBytes(cf), &cf_rid, opts));
+        DORADB_RETURN_NOT_OK(db_->IndexInsert(
+            txn.get(), schema_.cf_pk,
+            Schema::CfKey(s, cf.sf_type, cf.start_time),
+            IndexEntry{cf_rid, s, false}));
+      }
+    }
+    DORADB_RETURN_NOT_OK(db_->Commit(txn.get()));
+  }
+  return Status::OK();
+}
+
+Status Tm1Workload::CheckConsistency() {
+  // Every subscriber reachable through both indexes; every AI/SF/CF row's
+  // s_id has a subscriber; CF rows have a matching SF row.
+  Catalog* cat = db_->catalog();
+  uint64_t subs = 0;
+  Status out = Status::OK();
+  Status s = cat->Heap(schema_.subscriber)
+                 ->Scan([&](const Rid& rid, std::string_view bytes) {
+                   const auto row = FromBytes<SubscriberRow>(bytes);
+                   ++subs;
+                   IndexEntry e;
+                   if (!cat->Index(schema_.sub_pk)
+                            ->Probe(Schema::SubKey(row.s_id), &e)
+                            .ok() ||
+                       !(e.rid == rid)) {
+                     out = Status::Corruption("sub_pk mismatch");
+                     return false;
+                   }
+                   if (!cat->Index(schema_.sub_nbr_idx)
+                            ->Probe(Schema::SubNbrKey(row.sub_nbr), &e)
+                            .ok() ||
+                       e.aux != row.s_id) {
+                     out = Status::Corruption("sub_nbr mismatch");
+                     return false;
+                   }
+                   return true;
+                 });
+  DORADB_RETURN_NOT_OK(s);
+  DORADB_RETURN_NOT_OK(out);
+  if (subs != config_.subscribers) {
+    return Status::Corruption("subscriber count mismatch");
+  }
+  s = cat->Heap(schema_.call_forwarding)
+          ->Scan([&](const Rid&, std::string_view bytes) {
+            const auto row = FromBytes<CallForwardingRow>(bytes);
+            IndexEntry e;
+            if (!cat->Index(schema_.sf_pk)
+                     ->Probe(Schema::SfKey(row.s_id, row.sf_type), &e)
+                     .ok()) {
+              out = Status::Corruption("CF row without SF parent");
+              return false;
+            }
+            if (!cat->Index(schema_.cf_pk)
+                     ->Probe(Schema::CfKey(row.s_id, row.sf_type,
+                                           row.start_time),
+                             &e)
+                     .ok()) {
+              out = Status::Corruption("CF row missing from cf_pk");
+              return false;
+            }
+            return true;
+          });
+  DORADB_RETURN_NOT_OK(s);
+  return out;
+}
+
+}  // namespace tm1
+}  // namespace doradb

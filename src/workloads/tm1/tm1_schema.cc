@@ -1,0 +1,120 @@
+#include "workloads/tm1/tm1.h"
+
+namespace doradb {
+namespace tm1 {
+
+Status Schema::Create(Database* db) {
+  Catalog* cat = db->catalog();
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tm1_subscriber", &subscriber));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tm1_access_info", &access_info));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateTable("tm1_special_facility", &special_facility));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateTable("tm1_call_forwarding", &call_forwarding));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(subscriber, "tm1_sub_pk", true, false, &sub_pk));
+  // The sub_nbr index is the benchmark's non-routing-aligned access path:
+  // a DORA "secondary action" index whose leaves carry the routing field
+  // (s_id) in aux (§4.2.2).
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(subscriber, "tm1_sub_nbr", true,
+                                        true, &sub_nbr_idx));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(access_info, "tm1_ai_pk", true, false, &ai_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(special_facility, "tm1_sf_pk", true, false, &sf_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(call_forwarding, "tm1_cf_pk", true, false, &cf_pk));
+  return Status::OK();
+}
+
+std::string Schema::SubKey(uint64_t s_id) {
+  KeyBuilder kb;
+  kb.Add64(s_id);
+  return kb.Str();
+}
+
+std::string Schema::SubNbrKey(const char* sub_nbr) {
+  KeyBuilder kb;
+  kb.AddString(std::string_view(sub_nbr, 15), 15);
+  return kb.Str();
+}
+
+std::string Schema::AiKey(uint64_t s_id, uint8_t ai_type) {
+  KeyBuilder kb;
+  kb.Add64(s_id).Add8(ai_type);
+  return kb.Str();
+}
+
+std::string Schema::SfKey(uint64_t s_id, uint8_t sf_type) {
+  KeyBuilder kb;
+  kb.Add64(s_id).Add8(sf_type);
+  return kb.Str();
+}
+
+std::string Schema::CfKey(uint64_t s_id, uint8_t sf_type,
+                          uint8_t start_time) {
+  KeyBuilder kb;
+  kb.Add64(s_id).Add8(sf_type).Add8(start_time);
+  return kb.Str();
+}
+
+std::string Schema::CfPrefix(uint64_t s_id, uint8_t sf_type) {
+  KeyBuilder kb;
+  kb.Add64(s_id).Add8(sf_type);
+  return kb.Str();
+}
+
+const char* Tm1Workload::TxnName(uint32_t type) const {
+  switch (type) {
+    case kGetSubscriberData: return "GetSubscriberData";
+    case kGetNewDestination: return "GetNewDestination";
+    case kGetAccessData: return "GetAccessData";
+    case kUpdateSubscriberData: return "UpdateSubscriberData";
+    case kUpdateLocation: return "UpdateLocation";
+    case kInsertCallForwarding: return "InsertCallForwarding";
+    case kDeleteCallForwarding: return "DeleteCallForwarding";
+  }
+  return "?";
+}
+
+uint32_t Tm1Workload::PickTxnType(Rng& rng) const {
+  // Standard TATP mix: 35/10/35/2/14/2/2.
+  const uint64_t p = rng.UniformInt(uint64_t{1}, uint64_t{100});
+  if (p <= 35) return kGetSubscriberData;
+  if (p <= 45) return kGetNewDestination;
+  if (p <= 80) return kGetAccessData;
+  if (p <= 82) return kUpdateSubscriberData;
+  if (p <= 96) return kUpdateLocation;
+  if (p <= 98) return kInsertCallForwarding;
+  return kDeleteCallForwarding;
+}
+
+Status Tm1Workload::RunBaseline(uint32_t type, Rng& rng) {
+  switch (type) {
+    case kGetSubscriberData: return BaseGetSubscriberData(rng);
+    case kGetNewDestination: return BaseGetNewDestination(rng);
+    case kGetAccessData: return BaseGetAccessData(rng);
+    case kUpdateSubscriberData: return BaseUpdateSubscriberData(rng);
+    case kUpdateLocation: return BaseUpdateLocation(rng);
+    case kInsertCallForwarding: return BaseInsertCallForwarding(rng);
+    case kDeleteCallForwarding: return BaseDeleteCallForwarding(rng);
+  }
+  return Status::InvalidArgument("bad txn type");
+}
+
+Status Tm1Workload::RunDora(dora::DoraEngine* engine, uint32_t type,
+                            Rng& rng) {
+  switch (type) {
+    case kGetSubscriberData: return DoraGetSubscriberData(engine, rng);
+    case kGetNewDestination: return DoraGetNewDestination(engine, rng);
+    case kGetAccessData: return DoraGetAccessData(engine, rng);
+    case kUpdateSubscriberData: return DoraUpdateSubscriberData(engine, rng);
+    case kUpdateLocation: return DoraUpdateLocation(engine, rng);
+    case kInsertCallForwarding: return DoraInsertCallForwarding(engine, rng);
+    case kDeleteCallForwarding: return DoraDeleteCallForwarding(engine, rng);
+  }
+  return Status::InvalidArgument("bad txn type");
+}
+
+}  // namespace tm1
+}  // namespace doradb

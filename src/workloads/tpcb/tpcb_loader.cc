@@ -1,0 +1,88 @@
+#include "workloads/tpcb/tpcb.h"
+
+namespace doradb {
+namespace tpcb {
+
+Status TpcbWorkload::Load() {
+  DORADB_RETURN_NOT_OK(schema_.Create(db_));
+  const AccessOptions opts = AccessOptions::NoCc();
+
+  auto txn = db_->Begin();
+  size_t in_txn = 0;
+  auto maybe_commit = [&]() -> Status {
+    if (++in_txn >= 1000) {
+      DORADB_RETURN_NOT_OK(db_->Commit(txn.get()));
+      txn = db_->Begin();
+      in_txn = 0;
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t b = 1; b <= config_.branches; ++b) {
+    BranchRow br{};
+    br.b_id = b;
+    Rid rid;
+    DORADB_RETURN_NOT_OK(
+        db_->Insert(txn.get(), schema_.branch, AsBytes(br), &rid, opts));
+    DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.branch_pk,
+                                          Schema::Key(b),
+                                          IndexEntry{rid, b, false}));
+    DORADB_RETURN_NOT_OK(maybe_commit());
+    for (uint64_t t = 0; t < config_.tellers_per_branch; ++t) {
+      TellerRow tr{};
+      tr.t_id = (b - 1) * config_.tellers_per_branch + t + 1;
+      tr.b_id = b;
+      DORADB_RETURN_NOT_OK(
+          db_->Insert(txn.get(), schema_.teller, AsBytes(tr), &rid, opts));
+      DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.teller_pk,
+                                            Schema::Key(tr.t_id),
+                                            IndexEntry{rid, b, false}));
+      DORADB_RETURN_NOT_OK(maybe_commit());
+    }
+    for (uint64_t a = 0; a < config_.accounts_per_branch; ++a) {
+      AccountRow ar{};
+      ar.a_id = (b - 1) * config_.accounts_per_branch + a + 1;
+      ar.b_id = b;
+      DORADB_RETURN_NOT_OK(
+          db_->Insert(txn.get(), schema_.account, AsBytes(ar), &rid, opts));
+      DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.account_pk,
+                                            Schema::Key(ar.a_id),
+                                            IndexEntry{rid, b, false}));
+      DORADB_RETURN_NOT_OK(maybe_commit());
+    }
+  }
+  return db_->Commit(txn.get());
+}
+
+Status TpcbWorkload::CheckConsistency() {
+  Catalog* cat = db_->catalog();
+  int64_t branch_sum = 0, teller_sum = 0, account_sum = 0, history_sum = 0;
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.branch)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             branch_sum += FromBytes<BranchRow>(b).balance;
+                             return true;
+                           }));
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.teller)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             teller_sum += FromBytes<TellerRow>(b).balance;
+                             return true;
+                           }));
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.account)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             account_sum += FromBytes<AccountRow>(b).balance;
+                             return true;
+                           }));
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.history)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             history_sum += FromBytes<HistoryRow>(b).delta;
+                             return true;
+                           }));
+  if (branch_sum != teller_sum || teller_sum != account_sum ||
+      account_sum != history_sum) {
+    return Status::Corruption("TPC-B balance invariant violated");
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcb
+}  // namespace doradb

@@ -1,0 +1,22 @@
+#include "workloads/tpcb/tpcb.h"
+
+namespace doradb {
+namespace tpcb {
+
+Status Schema::Create(Database* db) {
+  Catalog* cat = db->catalog();
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_branch", &branch));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_teller", &teller));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_account", &account));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_history", &history));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(branch, "tpcb_branch_pk", true, false, &branch_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(teller, "tpcb_teller_pk", true, false, &teller_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(account, "tpcb_account_pk", true, false, &account_pk));
+  return Status::OK();
+}
+
+}  // namespace tpcb
+}  // namespace doradb

@@ -1,0 +1,220 @@
+#include "workloads/tpcc/tpcc.h"
+
+namespace doradb {
+namespace tpcc {
+
+Status TpccWorkload::Load() {
+  DORADB_RETURN_NOT_OK(schema_.Create(db_));
+  Rng rng(0xCC);
+  const AccessOptions opts = AccessOptions::NoCc();
+
+  auto txn = db_->Begin();
+  size_t in_txn = 0;
+  auto maybe_commit = [&]() -> Status {
+    if (++in_txn >= 2000) {
+      DORADB_RETURN_NOT_OK(db_->Commit(txn.get()));
+      txn = db_->Begin();
+      in_txn = 0;
+    }
+    return Status::OK();
+  };
+
+  // Items (shared across warehouses).
+  for (uint32_t i = 1; i <= config_.items; ++i) {
+    ItemRow it{};
+    it.i_id = i;
+    it.im_id = static_cast<uint32_t>(rng.UniformInt(uint64_t{1},
+                                                    uint64_t{10000}));
+    it.price = static_cast<int64_t>(rng.UniformInt(uint64_t{100},
+                                                   uint64_t{10000}));
+    Rid rid;
+    DORADB_RETURN_NOT_OK(
+        db_->Insert(txn.get(), schema_.item, AsBytes(it), &rid, opts));
+    DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.it_pk,
+                                          Schema::ItKey(i),
+                                          IndexEntry{rid, i, false}));
+    DORADB_RETURN_NOT_OK(maybe_commit());
+  }
+
+  for (uint32_t w = 1; w <= config_.warehouses; ++w) {
+    WarehouseRow wh{};
+    wh.w_id = w;
+    wh.tax = static_cast<int32_t>(rng.UniformInt(uint64_t{0}, uint64_t{2000}));
+    Rid rid;
+    DORADB_RETURN_NOT_OK(
+        db_->Insert(txn.get(), schema_.warehouse, AsBytes(wh), &rid, opts));
+    DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.wh_pk,
+                                          Schema::WhKey(w),
+                                          IndexEntry{rid, w, false}));
+    DORADB_RETURN_NOT_OK(maybe_commit());
+
+    // Stock for every item.
+    for (uint32_t i = 1; i <= config_.items; ++i) {
+      StockRow st{};
+      st.w_id = w;
+      st.i_id = i;
+      st.quantity = static_cast<int32_t>(
+          rng.UniformInt(uint64_t{10}, uint64_t{100}));
+      DORADB_RETURN_NOT_OK(
+          db_->Insert(txn.get(), schema_.stock, AsBytes(st), &rid, opts));
+      DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.st_pk,
+                                            Schema::StKey(w, i),
+                                            IndexEntry{rid, w, false}));
+      DORADB_RETURN_NOT_OK(maybe_commit());
+    }
+
+    for (uint8_t d = 1; d <= config_.districts; ++d) {
+      DistrictRow di{};
+      di.w_id = w;
+      di.d_id = d;
+      di.tax = static_cast<int32_t>(
+          rng.UniformInt(uint64_t{0}, uint64_t{2000}));
+      di.next_o_id = config_.initial_orders_per_district + 1;
+      DORADB_RETURN_NOT_OK(
+          db_->Insert(txn.get(), schema_.district, AsBytes(di), &rid, opts));
+      DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.di_pk,
+                                            Schema::DiKey(w, d),
+                                            IndexEntry{rid, w, false}));
+      DORADB_RETURN_NOT_OK(maybe_commit());
+
+      for (uint32_t c = 1; c <= config_.customers_per_district; ++c) {
+        CustomerRow cu{};
+        cu.w_id = w;
+        cu.d_id = d;
+        cu.c_id = c;
+        cu.balance = -1000;  // spec: -10.00
+        cu.discount = static_cast<int32_t>(
+            rng.UniformInt(uint64_t{0}, uint64_t{5000}));
+        // First customers get deterministic names so by-name lookups work
+        // (spec 4.3.3.1).
+        const std::string last =
+            Rng::LastName(c <= 1000 ? c - 1 : static_cast<uint32_t>(
+                                                  rng.NURand(255, 0, 999)));
+        std::snprintf(cu.last, sizeof(cu.last), "%s", last.c_str());
+        std::memcpy(cu.credit, rng.Percent(10) ? "BC" : "GC", 3);
+        DORADB_RETURN_NOT_OK(
+            db_->Insert(txn.get(), schema_.customer, AsBytes(cu), &rid,
+                        opts));
+        DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.cu_pk,
+                                              Schema::CuKey(w, d, c),
+                                              IndexEntry{rid, w, false}));
+        DORADB_RETURN_NOT_OK(
+            db_->IndexInsert(txn.get(), schema_.cu_name,
+                             Schema::CuNameKey(w, d, cu.last),
+                             IndexEntry{rid, c, false}));
+        DORADB_RETURN_NOT_OK(maybe_commit());
+      }
+
+      // Initial (delivered) orders so OrderStatus has data from the start.
+      for (uint32_t o = 1; o <= config_.initial_orders_per_district; ++o) {
+        OrderRow ord{};
+        ord.w_id = w;
+        ord.d_id = d;
+        ord.o_id = o;
+        ord.c_id = static_cast<uint32_t>(
+            rng.UniformInt(uint64_t{1}, config_.customers_per_district));
+        ord.carrier_id = static_cast<uint32_t>(
+            rng.UniformInt(uint64_t{1}, uint64_t{10}));
+        ord.ol_cnt = static_cast<uint8_t>(
+            rng.UniformInt(uint64_t{5}, uint64_t{15}));
+        ord.all_local = 1;
+        DORADB_RETURN_NOT_OK(
+            db_->Insert(txn.get(), schema_.order, AsBytes(ord), &rid, opts));
+        DORADB_RETURN_NOT_OK(db_->IndexInsert(txn.get(), schema_.or_pk,
+                                              Schema::OrKey(w, d, o),
+                                              IndexEntry{rid, w, false}));
+        DORADB_RETURN_NOT_OK(
+            db_->IndexInsert(txn.get(), schema_.or_cust,
+                             Schema::OrCustKey(w, d, ord.c_id, o),
+                             IndexEntry{rid, w, false}));
+        for (uint8_t ol = 1; ol <= ord.ol_cnt; ++ol) {
+          OrderLineRow line{};
+          line.w_id = w;
+          line.d_id = d;
+          line.o_id = o;
+          line.ol_number = ol;
+          line.i_id = static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{1}, config_.items));
+          line.supply_w_id = w;
+          line.quantity = 5;
+          line.amount = static_cast<int64_t>(
+              rng.UniformInt(uint64_t{1}, uint64_t{999999}));
+          line.delivery_d = 1;
+          Rid ol_rid;
+          DORADB_RETURN_NOT_OK(db_->Insert(txn.get(), schema_.order_line,
+                                           AsBytes(line), &ol_rid, opts));
+          DORADB_RETURN_NOT_OK(
+              db_->IndexInsert(txn.get(), schema_.ol_pk,
+                               Schema::OlKey(w, d, o, ol),
+                               IndexEntry{ol_rid, w, false}));
+          DORADB_RETURN_NOT_OK(maybe_commit());
+        }
+      }
+    }
+  }
+  return db_->Commit(txn.get());
+}
+
+Status TpccWorkload::CheckConsistency() {
+  Catalog* cat = db_->catalog();
+  // W_YTD == sum of its districts' D_YTD.
+  std::vector<int64_t> wh_ytd(config_.warehouses + 1, 0);
+  std::vector<int64_t> di_ytd_sum(config_.warehouses + 1, 0);
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.warehouse)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             const auto wh = FromBytes<WarehouseRow>(b);
+                             wh_ytd[wh.w_id] = wh.ytd;
+                             return true;
+                           }));
+  std::vector<std::pair<uint64_t, uint32_t>> district_next;  // (w,d)->next
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.district)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             const auto di = FromBytes<DistrictRow>(b);
+                             di_ytd_sum[di.w_id] += di.ytd;
+                             district_next.push_back(
+                                 {(uint64_t(di.w_id) << 8) | di.d_id,
+                                  di.next_o_id});
+                             return true;
+                           }));
+  for (uint32_t w = 1; w <= config_.warehouses; ++w) {
+    if (wh_ytd[w] != di_ytd_sum[w]) {
+      return Status::Corruption("W_YTD != sum(D_YTD) for warehouse " +
+                                std::to_string(w));
+    }
+  }
+  // D_NEXT_O_ID - 1 == max(O_ID) per district; order line counts match.
+  std::unordered_map<uint64_t, uint32_t> max_o;
+  std::unordered_map<uint64_t, uint32_t> ol_counts;  // (w,d,o) -> lines
+  std::unordered_map<uint64_t, uint8_t> o_declared;
+  DORADB_RETURN_NOT_OK(
+      cat->Heap(schema_.order)->Scan([&](const Rid&, std::string_view b) {
+        const auto o = FromBytes<OrderRow>(b);
+        const uint64_t dk = (uint64_t(o.w_id) << 8) | o.d_id;
+        max_o[dk] = std::max(max_o[dk], o.o_id);
+        o_declared[(dk << 32) | o.o_id] = o.ol_cnt;
+        return true;
+      }));
+  DORADB_RETURN_NOT_OK(cat->Heap(schema_.order_line)
+                           ->Scan([&](const Rid&, std::string_view b) {
+                             const auto l = FromBytes<OrderLineRow>(b);
+                             const uint64_t dk =
+                                 (uint64_t(l.w_id) << 8) | l.d_id;
+                             ol_counts[(dk << 32) | l.o_id]++;
+                             return true;
+                           }));
+  for (const auto& [dk, next] : district_next) {
+    const uint32_t expect = next - 1;
+    if (max_o.count(dk) != 0 && max_o[dk] != expect) {
+      return Status::Corruption("D_NEXT_O_ID inconsistent with max(O_ID)");
+    }
+  }
+  for (const auto& [ok, cnt] : o_declared) {
+    if (ol_counts[ok] != cnt) {
+      return Status::Corruption("order line count != O_OL_CNT");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace tpcc
+}  // namespace doradb

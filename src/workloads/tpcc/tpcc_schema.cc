@@ -1,0 +1,160 @@
+#include "workloads/tpcc/tpcc.h"
+
+namespace doradb {
+namespace tpcc {
+
+Status Schema::Create(Database* db) {
+  Catalog* cat = db->catalog();
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_warehouse", &warehouse));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_district", &district));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_customer", &customer));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_history", &history));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_order", &order));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_new_order", &new_order));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_order_line", &order_line));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_item", &item));
+  DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_stock", &stock));
+
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(warehouse, "tpcc_wh_pk", true, false, &wh_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(district, "tpcc_di_pk", true, false, &di_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(customer, "tpcc_cu_pk", true, false, &cu_pk));
+  // Key embeds (w, d, last): routing-aligned, so probes to it are NOT
+  // secondary actions (paper §4.1.2 discussion of the Payment example).
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(customer, "tpcc_cu_name", false, false, &cu_name));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(order, "tpcc_or_pk", true, false, &or_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(order, "tpcc_or_cust", true, false, &or_cust));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(new_order, "tpcc_no_pk", true, false, &no_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(order_line, "tpcc_ol_pk", true, false, &ol_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(item, "tpcc_it_pk", true, false, &it_pk));
+  DORADB_RETURN_NOT_OK(
+      cat->CreateIndex(stock, "tpcc_st_pk", true, false, &st_pk));
+  return Status::OK();
+}
+
+std::string Schema::WhKey(uint32_t w) {
+  KeyBuilder kb;
+  kb.Add32(w);
+  return kb.Str();
+}
+
+std::string Schema::DiKey(uint32_t w, uint8_t d) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d);
+  return kb.Str();
+}
+
+std::string Schema::CuKey(uint32_t w, uint8_t d, uint32_t c) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(c);
+  return kb.Str();
+}
+
+std::string Schema::CuNameKey(uint32_t w, uint8_t d, const char* last) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).AddString(last, 16);
+  return kb.Str();
+}
+
+std::string Schema::OrKey(uint32_t w, uint8_t d, uint32_t o) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(o);
+  return kb.Str();
+}
+
+std::string Schema::OrCustPrefix(uint32_t w, uint8_t d, uint32_t c) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(c);
+  return kb.Str();
+}
+
+std::string Schema::OrCustKey(uint32_t w, uint8_t d, uint32_t c, uint32_t o) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(c).Add32(o);
+  return kb.Str();
+}
+
+std::string Schema::NoKey(uint32_t w, uint8_t d, uint32_t o) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(o);
+  return kb.Str();
+}
+
+std::string Schema::OlKey(uint32_t w, uint8_t d, uint32_t o, uint8_t ol) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(o).Add8(ol);
+  return kb.Str();
+}
+
+std::string Schema::OlPrefix(uint32_t w, uint8_t d, uint32_t o) {
+  KeyBuilder kb;
+  kb.Add32(w).Add8(d).Add32(o);
+  return kb.Str();
+}
+
+std::string Schema::ItKey(uint32_t i) {
+  KeyBuilder kb;
+  kb.Add32(i);
+  return kb.Str();
+}
+
+std::string Schema::StKey(uint32_t w, uint32_t i) {
+  KeyBuilder kb;
+  kb.Add32(w).Add32(i);
+  return kb.Str();
+}
+
+const char* TpccWorkload::TxnName(uint32_t type) const {
+  switch (type) {
+    case kNewOrder: return "NewOrder";
+    case kPayment: return "Payment";
+    case kOrderStatus: return "OrderStatus";
+    case kDelivery: return "Delivery";
+    case kStockLevel: return "StockLevel";
+  }
+  return "?";
+}
+
+uint32_t TpccWorkload::PickTxnType(Rng& rng) const {
+  // Standard TPC-C weights: 45/43/4/4/4.
+  const uint64_t p = rng.UniformInt(uint64_t{1}, uint64_t{100});
+  if (p <= 45) return kNewOrder;
+  if (p <= 88) return kPayment;
+  if (p <= 92) return kOrderStatus;
+  if (p <= 96) return kDelivery;
+  return kStockLevel;
+}
+
+Status TpccWorkload::RunBaseline(uint32_t type, Rng& rng) {
+  switch (type) {
+    case kNewOrder: return BaseNewOrder(rng);
+    case kPayment: return BasePayment(rng);
+    case kOrderStatus: return BaseOrderStatus(rng);
+    case kDelivery: return BaseDelivery(rng);
+    case kStockLevel: return BaseStockLevel(rng);
+  }
+  return Status::InvalidArgument("bad txn type");
+}
+
+Status TpccWorkload::RunDora(dora::DoraEngine* engine, uint32_t type,
+                             Rng& rng) {
+  switch (type) {
+    case kNewOrder: return DoraNewOrder(engine, rng);
+    case kPayment: return DoraPayment(engine, rng);
+    case kOrderStatus: return DoraOrderStatus(engine, rng);
+    case kDelivery: return DoraDelivery(engine, rng);
+    case kStockLevel: return DoraStockLevel(engine, rng);
+  }
+  return Status::InvalidArgument("bad txn type");
+}
+
+}  // namespace tpcc
+}  // namespace doradb
