@@ -9,6 +9,12 @@
 //   DORADB_TPCB_BRANCHES  TPC-B branches             (default 8)
 //   DORADB_TPCC_WH        TPC-C warehouses           (default 4)
 //   DORADB_MAX_MULT       max clients as multiple of cores (default 4)
+//
+// WAL knobs (both backends benchable without recompiling):
+//   DORADB_LOG_BACKEND    "central" (default) or "plog"
+//   DORADB_LOG_PARTITIONS plog partition count       (default 4)
+//   DORADB_LOG_FLUSH_US   group-commit window in us  (default 50)
+//   DORADB_LOG_SYNC       1 = flush inline on every append (default 0)
 
 #ifndef DORADB_BENCH_BENCH_COMMON_H_
 #define DORADB_BENCH_BENCH_COMMON_H_
@@ -37,6 +43,24 @@ inline uint64_t EnvU64(const char* name, uint64_t def) {
 
 inline uint64_t BenchMs() { return EnvU64("DORADB_BENCH_MS", 700); }
 
+// Log options from driver flags (satellite of the plog PR): flush cadence,
+// synchronous mode, and backend selection are runtime-settable so the same
+// binary can A/B the central and partitioned WAL.
+inline LogManager::Options LogOptionsFromEnv() {
+  LogManager::Options o;
+  o.flush_interval_us = EnvU64("DORADB_LOG_FLUSH_US", o.flush_interval_us);
+  o.synchronous = EnvU64("DORADB_LOG_SYNC", 0) != 0;
+  return o;
+}
+
+inline LogBackendKind LogBackendFromEnv() {
+  const char* v = std::getenv("DORADB_LOG_BACKEND");
+  if (v != nullptr && std::string(v) == "plog") {
+    return LogBackendKind::kPartitioned;
+  }
+  return LogBackendKind::kCentral;
+}
+
 // Ladder of client counts expressed as offered-load steps up to
 // DORADB_MAX_MULT x the hardware contexts (the >100% region reproduces the
 // paper's overload behaviour, Fig. 6).
@@ -54,6 +78,10 @@ inline Database::Options DbOptions() {
   Database::Options o;
   o.buffer_frames = 1 << 15;  // 256 MiB
   o.lock.wait_timeout_us = 1000000;
+  o.log = LogOptionsFromEnv();
+  o.log_backend = LogBackendFromEnv();
+  o.log_partitions =
+      static_cast<uint32_t>(EnvU64("DORADB_LOG_PARTITIONS", 4));
   return o;
 }
 
@@ -92,22 +120,34 @@ inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 1,
   return rig;
 }
 
-inline Rig<tpcb::TpcbWorkload> MakeTpcb() {
+// TPC-B rig with explicit database/engine options and executor counts —
+// the log-scalability bench sweeps these.
+inline Rig<tpcb::TpcbWorkload> MakeTpcbWith(
+    Database::Options db_opts, dora::DoraEngine::Options engine_opts,
+    uint32_t account_executors, uint32_t other_executors) {
   Rig<tpcb::TpcbWorkload> rig;
-  rig.db = std::make_unique<Database>(DbOptions());
+  rig.db = std::make_unique<Database>(db_opts);
   tpcb::TpcbWorkload::Config cfg;
   cfg.branches = EnvU64("DORADB_TPCB_BRANCHES", 8);
   cfg.accounts_per_branch = 2000;
+  cfg.account_executors = account_executors;
+  cfg.other_executors = other_executors;
   rig.workload = std::make_unique<tpcb::TpcbWorkload>(rig.db.get(), cfg);
   Status s = rig.workload->Load();
   if (!s.ok()) {
     std::fprintf(stderr, "TPC-B load failed: %s\n", s.ToString().c_str());
     std::abort();
   }
-  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.engine =
+      std::make_unique<dora::DoraEngine>(rig.db.get(), engine_opts);
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
   return rig;
+}
+
+inline Rig<tpcb::TpcbWorkload> MakeTpcb() {
+  return MakeTpcbWith(DbOptions(), dora::DoraEngine::Options(),
+                      /*account_executors=*/2, /*other_executors=*/1);
 }
 
 inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "util/thread_pool.h"
+
 namespace doradb {
 namespace dora {
 
@@ -38,6 +40,26 @@ void DoraEngine::Start() {
                                            LockMode::kIX);
     }
   }
+  if (options_.pipelined_commit) {
+    // One commit-ack queue per log partition, sharded over at most
+    // core-count daemons; with the central backend this degenerates to a
+    // single group-commit daemon. Shards must be fully built before any
+    // executor runs: a transaction can finish (and consult ack_shards_)
+    // as soon as the first executor is live.
+    const uint32_t n = db_->log_manager()->num_partitions();
+    const uint32_t shards = std::min(n, std::max(1u, HardwareContexts()));
+    for (uint32_t s = 0; s < shards; ++s) {
+      ack_shards_.push_back(std::make_unique<AckShard>());
+    }
+    for (uint32_t p = 0; p < n; ++p) {
+      ack_shards_[p % shards]->queues.emplace_back(p,
+                                                   std::deque<CommitAck>());
+    }
+    for (auto& shard : ack_shards_) {
+      shard->daemon =
+          std::thread([this, s = shard.get()] { AckLoop(s); });
+    }
+  }
   for (auto& [table, group] : tables_) {
     for (auto& e : group->executors) e->Start();
   }
@@ -45,14 +67,66 @@ void DoraEngine::Start() {
 
 void DoraEngine::Stop() {
   if (!started_) return;
+  // Executors first (no new commits enter the ack queues), then drain the
+  // ack daemons so every in-flight commit is acknowledged durable.
   for (auto& [table, group] : tables_) {
     for (auto& e : group->executors) e->Stop();
   }
+  for (auto& shard : ack_shards_) {
+    {
+      std::lock_guard<std::mutex> g(shard->mu);
+      shard->stop = true;
+    }
+    shard->cv.notify_all();
+    if (shard->daemon.joinable()) shard->daemon.join();
+  }
+  ack_shards_.clear();
   if (system_txn_ != nullptr) {
     (void)db_->Commit(system_txn_.get());
     system_txn_.reset();
   }
   started_ = false;
+}
+
+void DoraEngine::AckLoop(AckShard* shard) {
+  // (partition, batch) pairs drained from the shard's queues.
+  std::vector<std::pair<uint32_t, std::deque<CommitAck>>> drained;
+  for (;;) {
+    drained.clear();
+    {
+      std::unique_lock<std::mutex> lk(shard->mu);
+      shard->cv.wait(lk, [&] {
+        if (shard->stop) return true;
+        for (const auto& [p, q] : shard->queues) {
+          if (!q.empty()) return true;
+        }
+        return false;
+      });
+      bool any = false;
+      for (auto& [p, q] : shard->queues) {
+        if (q.empty()) continue;
+        any = true;
+        drained.emplace_back(p, std::deque<CommitAck>());
+        drained.back().second.swap(q);
+      }
+      if (!any && shard->stop) return;
+    }
+    for (auto& [partition, batch] : drained) {
+      // Group commit: one wait for the batch's highest GSN covers every
+      // commit queued behind the same flush horizon. The daemon's blocked
+      // time is idle overlap — the executors it unblocked are busy
+      // elsewhere — so it is left unattributed.
+      Lsn max_gsn = kInvalidLsn;
+      for (const auto& ack : batch) max_gsn = std::max(max_gsn, ack.gsn);
+      db_->log_manager()->WaitFlushedFrom(partition, max_gsn);
+      for (auto& ack : batch) {
+        const Status s = db_->CommitFinalize(ack.dtxn->txn());
+        committed_.fetch_add(1, std::memory_order_relaxed);
+        pipelined_.fetch_add(1, std::memory_order_relaxed);
+        ack.dtxn->Complete(s);
+      }
+    }
+  }
 }
 
 std::shared_ptr<DoraTxn> DoraEngine::BeginTxn() {
@@ -177,7 +251,61 @@ void DoraEngine::Redispatch(Action* a) {
   owner->Notify();
 }
 
+std::shared_ptr<DoraTxn> DoraEngine::TakeLive(DoraTxn* dtxn) {
+  std::lock_guard<std::mutex> g(reg_mu_);
+  auto it = live_.find(dtxn);
+  if (it == live_.end()) return nullptr;
+  std::shared_ptr<DoraTxn> sp = std::move(it->second);
+  live_.erase(it);
+  return sp;
+}
+
+void DoraEngine::FanOutCompletions(const std::shared_ptr<DoraTxn>& sp) {
+  // The shared_ptr keeps the txn context alive until the last completion
+  // message is drained.
+  std::vector<Executor*> owners;
+  for (const auto& a : sp->actions) {
+    if (a->owner != nullptr) owners.push_back(a->owner);
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  for (Executor* e : owners) e->EnqueueCompleted(sp);
+}
+
 void DoraEngine::FinishTxn(DoraTxn* dtxn) {
+  if (!dtxn->aborted() && options_.pipelined_commit &&
+      !ack_shards_.empty()) {
+    // Pipelined commit (§5.4 flush pipelining + ELR): append the commit
+    // record, release thread-local locks immediately, queue the ack, and
+    // let this executor pick up its next action instead of stalling in
+    // WaitFlushed. The client is completed by the ack daemon once the
+    // commit GSN is covered by the global stable horizon.
+    const Lsn commit_gsn = db_->CommitAsync(dtxn->txn());
+    std::shared_ptr<DoraTxn> sp = TakeLive(dtxn);
+    if (sp != nullptr) {
+      FanOutCompletions(sp);  // early lock release, pre-durability
+      // The commit record went to this thread's bound partition; its ack
+      // queue lives at slot partition/shards of shard partition%shards.
+      const uint32_t partition = db_->log_manager()->CurrentPartition() %
+                                 db_->log_manager()->num_partitions();
+      const uint32_t shards = static_cast<uint32_t>(ack_shards_.size());
+      AckShard* shard = ack_shards_[partition % shards].get();
+      {
+        std::lock_guard<std::mutex> g(shard->mu);
+        shard->queues[partition / shards].second.push_back(
+            CommitAck{std::move(sp), commit_gsn});
+      }
+      shard->cv.notify_one();
+      return;
+    }
+    // Registry miss (never expected): fall through to a synchronous finish.
+    db_->log_manager()->WaitFlushed(commit_gsn);
+    const Status s = db_->CommitFinalize(dtxn->txn());
+    committed_.fetch_add(1, std::memory_order_relaxed);
+    dtxn->Complete(s);
+    return;
+  }
+
   Status final_status;
   if (dtxn->aborted()) {
     (void)db_->Abort(dtxn->txn());
@@ -189,28 +317,9 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     committed_.fetch_add(1, std::memory_order_relaxed);
   }
 
-  // Completion fan-out (§A.1 steps 10-12): hand the committed/aborted txn
-  // id back to every executor that ran one of its actions so they release
-  // their thread-local locks. The shared_ptr keeps the txn context alive
-  // until the last completion message is drained.
-  std::shared_ptr<DoraTxn> sp;
-  {
-    std::lock_guard<std::mutex> g(reg_mu_);
-    auto it = live_.find(dtxn);
-    if (it != live_.end()) {
-      sp = it->second;
-      live_.erase(it);
-    }
-  }
-  if (sp != nullptr) {
-    std::vector<Executor*> owners;
-    for (const auto& a : dtxn->actions) {
-      if (a->owner != nullptr) owners.push_back(a->owner);
-    }
-    std::sort(owners.begin(), owners.end());
-    owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
-    for (Executor* e : owners) e->EnqueueCompleted(sp);
-  }
+  // Completion fan-out (§A.1 steps 10-12) after commit/abort completes.
+  std::shared_ptr<DoraTxn> sp = TakeLive(dtxn);
+  if (sp != nullptr) FanOutCompletions(sp);
   dtxn->Complete(std::move(final_status));
 }
 

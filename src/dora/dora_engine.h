@@ -18,7 +18,11 @@
 #ifndef DORADB_DORA_DORA_ENGINE_H_
 #define DORADB_DORA_DORA_ENGINE_H_
 
+#include <condition_variable>
+#include <deque>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +44,15 @@ class DoraEngine {
     // are held only until commit, normally sub-millisecond; the margin
     // absorbs scheduling hiccups on oversubscribed hosts.
     uint64_t local_wait_timeout_us = 150000;
+    // Pipelined commit with early lock release: the executor that zeroes
+    // the terminal RVP appends the commit record, releases the txn's
+    // thread-local locks immediately, hands the txn to a per-log-partition
+    // commit-ack queue, and picks up its next action instead of blocking
+    // in WaitFlushed. An ack daemon completes the client once the commit
+    // GSN is stable. Safe because commit acks gate on the global GSN
+    // horizon: a dependent txn's commit always carries a larger GSN, so it
+    // can never be acknowledged before the txn it read from.
+    bool pipelined_commit = false;
   };
 
   DoraEngine(Database* db, Options options);
@@ -102,10 +115,39 @@ class DoraEngine {
   uint64_t txns_aborted() const {
     return aborted_.load(std::memory_order_relaxed);
   }
+  // Commits that went through the pipelined (ELR) path.
+  uint64_t txns_pipelined() const {
+    return pipelined_.load(std::memory_order_relaxed);
+  }
   std::vector<Executor*> AllExecutors() const;
 
  private:
   friend class Executor;
+
+  // One commit-ack queue per log partition (§5.4 flush pipelining): FIFO
+  // of transactions whose commit record is appended but not yet stable.
+  // Queues are grouped into shards, one daemon thread each; the shard
+  // count is capped at the core count so constrained hosts get one daemon
+  // sweeping every queue instead of an oversubscribed thread herd.
+  struct CommitAck {
+    std::shared_ptr<DoraTxn> dtxn;
+    Lsn gsn = kInvalidLsn;
+  };
+  struct AckShard {
+    std::mutex mu;
+    std::condition_variable cv;
+    // (log partition, its FIFO of unacknowledged commits)
+    std::vector<std::pair<uint32_t, std::deque<CommitAck>>> queues;
+    bool stop = false;
+    std::thread daemon;
+  };
+
+  void AckLoop(AckShard* shard);
+  // Remove the txn from the live registry, returning its owning pointer.
+  std::shared_ptr<DoraTxn> TakeLive(DoraTxn* dtxn);
+  // Completion fan-out (§A.1 steps 10-12): hand the txn back to every
+  // executor that ran one of its actions so they release local locks.
+  void FanOutCompletions(const std::shared_ptr<DoraTxn>& sp);
 
   struct TableGroup {
     TableId table;
@@ -131,8 +173,11 @@ class DoraEngine {
   std::mutex reg_mu_;
   std::unordered_map<DoraTxn*, std::shared_ptr<DoraTxn>> live_;
 
+  std::vector<std::unique_ptr<AckShard>> ack_shards_;
+
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> pipelined_{0};
 };
 
 }  // namespace dora

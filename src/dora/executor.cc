@@ -37,6 +37,9 @@ void Executor::EnqueueCompleted(std::shared_ptr<DoraTxn> dtxn) {
 
 void Executor::Loop() {
   if (engine_->options().bind_cores) BindToCore(global_index_);
+  // Partitioned WAL affinity: this executor's appends (and its
+  // transactions' commit records) go to a private log partition.
+  db_->log_manager()->BindThisThread(global_index_);
   const uint64_t timeout_cycles = static_cast<uint64_t>(
       engine_->options().local_wait_timeout_us * 1000.0 *
       Cycles::PerNanosecond());

@@ -1,18 +1,9 @@
 #include "dora/resource_manager.h"
 
-#include <ctime>
+#include "util/clock.h"
 
 namespace doradb {
 namespace dora {
-
-namespace {
-void NapMicros(uint64_t us) {
-  timespec ts;
-  ts.tv_sec = static_cast<time_t>(us / 1000000);
-  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
-  nanosleep(&ts, nullptr);
-}
-}  // namespace
 
 PlanAdvisor::TypeStats& PlanAdvisor::StatsFor(uint32_t txn_type) const {
   std::lock_guard<std::mutex> g(mu_);

@@ -1,6 +1,20 @@
 #include "engine/database.h"
 
+#include "plog/partitioned_log_manager.h"
+
 namespace doradb {
+
+namespace {
+std::unique_ptr<LogBackend> MakeLogBackend(const Database::Options& options) {
+  if (options.log_backend == LogBackendKind::kPartitioned) {
+    plog::PartitionedLogManager::Options po;
+    po.num_partitions = options.log_partitions;
+    po.log = options.log;
+    return std::make_unique<plog::PartitionedLogManager>(po);
+  }
+  return std::make_unique<LogManager>(options.log);
+}
+}  // namespace
 
 Database::Database(Options options)
     : options_(options),
@@ -8,22 +22,39 @@ Database::Database(Options options)
       pool_(std::make_unique<BufferPool>(disk_.get(), options.buffer_frames)),
       catalog_(std::make_unique<Catalog>(pool_.get())),
       lock_(std::make_unique<LockManager>(options.lock)),
-      log_(std::make_unique<LogManager>(options.log)),
+      log_(MakeLogBackend(options)),
       txns_(std::make_unique<TxnManager>(lock_.get(), log_.get())) {
   pool_->SetWalFlushCallback([this](Lsn lsn) {
+    // WAL rule: the covering (partition) flush horizon must pass the page
+    // LSN before the dirty page may be stolen.
     if (lsn != kInvalidLsn) log_->FlushTo(lsn);
   });
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  // Members destroy in reverse declaration order, which tears the log down
+  // before the pool — so flush dirty pages while the log is still alive
+  // (WAL rule intact), then detach the callback for the pool's own
+  // destructor. The seed hid this as a use-after-free that virtual
+  // dispatch on LogBackend turned into a crash.
+  (void)pool_->FlushAll();
+  pool_->SetWalFlushCallback(nullptr);
+}
 
 Status Database::Commit(Transaction* txn) {
+  const Lsn end = CommitAsync(txn);
+  log_->WaitFlushed(end);  // durability point (group commit)
+  return CommitFinalize(txn);
+}
+
+Lsn Database::CommitAsync(Transaction* txn) {
   LogRecord rec;
   rec.type = LogType::kCommit;
   rec.txn = txn->id();
-  const Lsn end = txn->ChainAppend(log_.get(), &rec);
-  log_->WaitFlushed(end);  // durability point (group commit)
+  return txn->ChainAppend(log_.get(), &rec);
+}
 
+Status Database::CommitFinalize(Transaction* txn) {
   // Post-commit work, outside the transaction: physical frees of deleted
   // slots and DORA's secondary-index delete flagging (§4.2.2).
   for (auto& fn : txn->post_commit()) fn();

@@ -22,6 +22,7 @@
 #include <memory>
 
 #include "lock/lock_manager.h"
+#include "log/log_backend.h"
 #include "log/log_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
@@ -46,12 +47,22 @@ struct AccessOptions {
   static AccessOptions RidOnly() { return AccessOptions{false, true}; }
 };
 
+// Which WAL implementation backs the engine (runtime-selectable).
+enum class LogBackendKind : uint8_t {
+  kCentral = 0,      // one latched buffer (the paper's §5.4 bottleneck)
+  kPartitioned = 1,  // plog: one partition per executor, GSN-stamped
+};
+
 class Database {
  public:
   struct Options {
     size_t buffer_frames = 8192;  // 64 MiB
     LockManager::Options lock;
     LogManager::Options log;
+    LogBackendKind log_backend = LogBackendKind::kCentral;
+    // Partition count for LogBackendKind::kPartitioned; size it to the
+    // executor count so each executor appends to a private partition.
+    uint32_t log_partitions = 4;
   };
 
   explicit Database(Options options);
@@ -62,7 +73,7 @@ class Database {
 
   Catalog* catalog() { return catalog_.get(); }
   LockManager* lock_manager() { return lock_.get(); }
-  LogManager* log_manager() { return log_.get(); }
+  LogBackend* log_manager() { return log_.get(); }
   TxnManager* txn_manager() { return txns_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
@@ -74,6 +85,15 @@ class Database {
   // Commit: flush the WAL through the commit record (group commit), run
   // post-commit actions (slot frees, DORA index flagging), release locks.
   Status Commit(Transaction* txn);
+
+  // Pipelined commit, used by DORA's early-lock-release path. CommitAsync
+  // appends the commit record and returns the LSN/GSN whose durability
+  // makes the commit final — without waiting for it. Once
+  // WaitFlushed(that lsn) has returned, CommitFinalize runs the rest of
+  // the protocol (post-commit actions, kEnd, lock release). Commit() is
+  // exactly CommitAsync + WaitFlushed + CommitFinalize.
+  Lsn CommitAsync(Transaction* txn);
+  Status CommitFinalize(Transaction* txn);
 
   // Abort: roll back heap ops via the in-memory undo chain (logging CLRs),
   // reverse index ops logically, release locks.
@@ -126,7 +146,7 @@ class Database {
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
   std::unique_ptr<LockManager> lock_;
-  std::unique_ptr<LogManager> log_;
+  std::unique_ptr<LogBackend> log_;
   std::unique_ptr<TxnManager> txns_;
 };
 

@@ -1,20 +1,9 @@
 #include "lock/lock_manager.h"
 
-#include <ctime>
-
 #include "txn/transaction.h"
 #include "util/clock.h"
 
 namespace doradb {
-
-namespace {
-void NapMicros(uint64_t us) {
-  timespec ts;
-  ts.tv_sec = static_cast<time_t>(us / 1000000);
-  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
-  nanosleep(&ts, nullptr);
-}
-}  // namespace
 
 LockManager::LockManager(Options options)
     : options_(options), buckets_(kNumBuckets), detector_(&txns_) {}

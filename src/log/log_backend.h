@@ -1,0 +1,76 @@
+// LogBackend: the append/wait/read surface of the write-ahead log, shared
+// by the central LogManager and the partitioned plog backend.
+//
+// LSN semantics differ per backend but callers never need to care:
+//  * Central log: an LSN is a byte offset into one log file; Append returns
+//    the end-of-record offset and flushed_lsn() is the stable byte horizon.
+//  * Partitioned log: an LSN is a GSN (global sequence number) drawn from
+//    one atomic clock shared by all partitions; Append returns the record's
+//    own GSN and flushed_lsn() is the GSN below which *every* partition is
+//    stable.
+// Both satisfy the two properties the rest of the engine relies on:
+//  1. LSNs are totally ordered and assigned in append order per
+//     transaction and per page (page-LSN monotonicity for redo).
+//  2. WaitFlushed(Append(rec)) returning implies rec — and everything
+//     ordered before it — survives DiscardVolatileTail.
+
+#ifndef DORADB_LOG_LOG_BACKEND_H_
+#define DORADB_LOG_LOG_BACKEND_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "log/log_record.h"
+
+namespace doradb {
+
+class LogBackend {
+ public:
+  virtual ~LogBackend() = default;
+
+  // Append a record; assigns rec->lsn and returns the LSN that, once
+  // covered by flushed_lsn(), makes the record durable.
+  virtual Lsn Append(LogRecord* rec) = 0;
+
+  // Block until everything up to `lsn` is stable (group commit wait).
+  virtual void WaitFlushed(Lsn lsn) = 0;
+  // Trigger + wait: used by the buffer pool's WAL rule before page steals.
+  virtual void FlushTo(Lsn lsn) = 0;
+
+  // Commit-pipelining wait: like WaitFlushed, but the caller vouches that
+  // `lsn` lives in `partition_hint`, so the backend may flush only that
+  // partition and let the others' flushers advance the horizon on their
+  // own cadence — avoiding an all-partition flush storm per commit.
+  virtual void WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) {
+    (void)partition_hint;
+    WaitFlushed(lsn);
+  }
+
+  virtual Lsn flushed_lsn() const = 0;
+  virtual Lsn current_lsn() const = 0;
+
+  // Crash simulation: drop all unflushed bytes.
+  virtual void DiscardVolatileTail() = 0;
+
+  // Recovery: decode the stable region as one LSN-ordered stream
+  // (tolerates torn tails; a partitioned backend merges its streams and
+  // truncates to the consistent recovery horizon).
+  virtual std::vector<LogRecord> ReadStable() const = 0;
+
+  virtual uint64_t appends() const = 0;
+  virtual uint64_t flushes() const = 0;
+  virtual size_t stable_size() const = 0;
+
+  // Partition-affinity hint: a DORA executor calls this once with its
+  // global index so its appends go to a private partition. No-op for the
+  // central log.
+  virtual void BindThisThread(uint32_t hint) { (void)hint; }
+  // The partition this thread's appends currently go to (0 centrally);
+  // DORA routes commit acks to the matching per-partition queue.
+  virtual uint32_t CurrentPartition() const { return 0; }
+  virtual uint32_t num_partitions() const { return 1; }
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOG_LOG_BACKEND_H_

@@ -1,17 +1,8 @@
 #include "log/log_manager.h"
 
-#include <ctime>
+#include "util/clock.h"
 
 namespace doradb {
-
-namespace {
-void NapMicros(uint64_t us) {
-  timespec ts;
-  ts.tv_sec = static_cast<time_t>(us / 1000000);
-  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
-  nanosleep(&ts, nullptr);
-}
-}  // namespace
 
 LogManager::LogManager(Options options) : options_(options) {
   buffer_.reserve(1 << 20);

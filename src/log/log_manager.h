@@ -21,13 +21,14 @@
 #include <thread>
 #include <vector>
 
+#include "log/log_backend.h"
 #include "log/log_record.h"
 #include "util/spinlock.h"
 #include "util/status.h"
 
 namespace doradb {
 
-class LogManager {
+class LogManager final : public LogBackend {
  public:
   struct Options {
     uint64_t flush_interval_us = 50;  // group-commit window
@@ -36,35 +37,39 @@ class LogManager {
 
   explicit LogManager(Options options);
   LogManager() : LogManager(Options()) {}
-  ~LogManager();
+  ~LogManager() override;
   LogManager(const LogManager&) = delete;
   LogManager& operator=(const LogManager&) = delete;
 
   // Append a record; assigns and returns its LSN (end-of-record byte
   // offset, so flushed_lsn >= lsn means the record is durable).
-  Lsn Append(LogRecord* rec);
+  Lsn Append(LogRecord* rec) override;
 
   // Block until everything up to `lsn` is stable (group commit wait).
-  void WaitFlushed(Lsn lsn);
+  void WaitFlushed(Lsn lsn) override;
   // Trigger + wait: used by the buffer pool's WAL rule before page steals.
-  void FlushTo(Lsn lsn);
+  void FlushTo(Lsn lsn) override;
 
-  Lsn flushed_lsn() const {
+  Lsn flushed_lsn() const override {
     return flushed_lsn_.load(std::memory_order_acquire);
   }
-  Lsn current_lsn() const {
+  Lsn current_lsn() const override {
     return next_lsn_.load(std::memory_order_relaxed);
   }
 
   // Crash simulation: drop all unflushed bytes.
-  void DiscardVolatileTail();
+  void DiscardVolatileTail() override;
 
   // Recovery: decode the stable region (tolerates a torn last record).
-  std::vector<LogRecord> ReadStable() const;
+  std::vector<LogRecord> ReadStable() const override;
 
-  uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
-  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
-  size_t stable_size() const;
+  uint64_t appends() const override {
+    return appends_.load(std::memory_order_relaxed);
+  }
+  uint64_t flushes() const override {
+    return flushes_.load(std::memory_order_relaxed);
+  }
+  size_t stable_size() const override;
 
  private:
   void FlusherLoop();

@@ -140,7 +140,7 @@ Status RecoveryDriver::Redo() {
 
 Status RecoveryDriver::UndoLosers() {
   Catalog* catalog = db_->catalog();
-  LogManager* log = db_->log_manager();
+  LogBackend* log = db_->log_manager();
   for (const auto& [txn, last] : last_lsn_) {
     if (committed_.count(txn) != 0 || ended_.count(txn) != 0) continue;
     Lsn cur = last;

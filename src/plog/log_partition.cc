@@ -1,0 +1,110 @@
+#include "plog/log_partition.h"
+
+#include <algorithm>
+
+namespace doradb {
+namespace plog {
+
+Lsn LogPartition::Append(LogRecord* rec) {
+  Lsn gsn;
+  {
+    TatasGuard g(buffer_latch_, TimeClass::kLogContention);
+    ScopedTimeClass timer(TimeClass::kLogWork);
+    // Stamping under the latch keeps this partition's buffer in GSN order
+    // and lets Flush() read a safe watermark from the drained buffer.
+    gsn = clock_->Next();
+    rec->lsn = gsn;
+    rec->SerializeTo(&buffer_);
+  }
+  appends_.fetch_add(1, std::memory_order_relaxed);
+  return gsn;
+}
+
+void LogPartition::Flush() {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  std::vector<uint8_t> pending;
+  Lsn horizon;
+  {
+    TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+    pending.swap(buffer_);
+    // Buffer is empty and the latch blocks new stamps: every future record
+    // of this partition gets a GSN > horizon.
+    horizon = clock_->last_issued();
+  }
+  if (!pending.empty()) {
+    ScopedTimeClass timer(TimeClass::kLogWork);
+    stable_.insert(stable_.end(), pending.begin(), pending.end());
+    flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (horizon > watermark_.load(std::memory_order_relaxed)) {
+    watermark_.store(horizon, std::memory_order_release);
+  }
+}
+
+Lsn LogPartition::DiscardVolatileAndClaim() {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+  const bool lost_buffered = !buffer_.empty();
+  buffer_.clear();
+  size_t off = 0;
+  LogRecord rec;
+  Lsn last = 0;
+  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) last = rec.lsn;
+  const bool torn = off != stable_.size();
+  if (lost_buffered || torn) {
+    // Losses are a suffix of the stream and every lost GSN exceeds the
+    // watermark, so the partition still vouches for the larger of the two.
+    return std::max(last, watermark_.load(std::memory_order_relaxed));
+  }
+  // Nothing of this partition was lost: it cannot constrain the horizon,
+  // and any future append draws a GSN beyond last_issued.
+  return clock_->last_issued();
+}
+
+void LogPartition::TruncateStableTo(Lsn horizon) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  size_t keep = 0, off = 0;
+  LogRecord rec;
+  // The stream is GSN-ordered, so the survivors are a byte prefix.
+  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
+    if (rec.lsn > horizon) break;
+    keep = off;
+  }
+  stable_.resize(keep);
+  if (horizon > watermark_.load(std::memory_order_relaxed)) {
+    watermark_.store(horizon, std::memory_order_release);
+  }
+}
+
+std::vector<LogRecord> LogPartition::ReadStable(bool* clean) const {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  std::vector<LogRecord> out;
+  size_t off = 0;
+  LogRecord rec;
+  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
+    out.push_back(rec);
+  }
+  if (clean != nullptr) *clean = (off == stable_.size());
+  return out;
+}
+
+void LogPartition::PartialFlushTorn(size_t bytes) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+  bytes = std::min(bytes, buffer_.size());
+  stable_.insert(stable_.end(), buffer_.begin(), buffer_.begin() + bytes);
+  buffer_.clear();
+}
+
+void LogPartition::TearStableTail(size_t bytes) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  stable_.resize(stable_.size() - std::min(bytes, stable_.size()));
+}
+
+size_t LogPartition::stable_size() const {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  return stable_.size();
+}
+
+}  // namespace plog
+}  // namespace doradb

@@ -1,0 +1,98 @@
+// LogPartition: one partition of the plog — a private latched buffer, a
+// private stable region, and a durability watermark.
+//
+// An executor bound to this partition appends here without ever touching
+// another partition's latch; with a 1:1 executor/partition binding the
+// latch is uncontended and TimeClass::kLogContention drops to ~zero.
+//
+// Watermark invariant: every record this partition hosts with
+// GSN <= watermark() is in the stable region. The watermark advances on
+// every flush to the clock's last_issued value read while the (drained)
+// buffer latch is held — any later append of this partition must draw a
+// strictly larger GSN, so the claim stays true even for an idle partition,
+// which is what keeps one quiet partition from capping the global
+// recovery horizon.
+
+#ifndef DORADB_PLOG_LOG_PARTITION_H_
+#define DORADB_PLOG_LOG_PARTITION_H_
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "log/log_record.h"
+#include "plog/gsn_clock.h"
+#include "util/spinlock.h"
+
+namespace doradb {
+namespace plog {
+
+class LogPartition {
+ public:
+  explicit LogPartition(GsnClock* clock) : clock_(clock) {
+    buffer_.reserve(1 << 18);
+    stable_.reserve(1 << 20);
+  }
+  LogPartition(const LogPartition&) = delete;
+  LogPartition& operator=(const LogPartition&) = delete;
+
+  // Stamp `rec` with a fresh GSN and buffer it. Returns the GSN.
+  Lsn Append(LogRecord* rec);
+
+  // Move buffered bytes to the stable region and advance the watermark.
+  void Flush();
+
+  // All records of this partition with GSN <= watermark() are stable.
+  Lsn watermark() const { return watermark_.load(std::memory_order_acquire); }
+
+  // Crash simulation: drop buffered records and return this partition's
+  // durability claim — the GSN through which it is guaranteed to hold
+  // every record it ever hosted. If nothing was lost (empty buffer, clean
+  // stable stream) that is the clock's last issued GSN; otherwise it is
+  // the last decodable stable GSN, because the stable region is a prefix
+  // of the partition's append stream and every loss is a suffix. The
+  // facade takes the min across partitions and truncates to it.
+  Lsn DiscardVolatileAndClaim();
+
+  // Restart truncation: drop every stable record with GSN > `horizon`
+  // (plus any torn bytes) and raise the watermark to the horizon, so a
+  // later crash/recover cycle sees a globally consistent prefix.
+  void TruncateStableTo(Lsn horizon);
+
+  // Decode the stable region. Returns records in GSN order; sets `*clean`
+  // to false if a torn tail truncated the stream, in which case the
+  // partition's effective horizon is the last decoded GSN, not watermark().
+  std::vector<LogRecord> ReadStable(bool* clean) const;
+
+  // Test hook: tear `bytes` off the stable tail, simulating a partial
+  // last write to this partition's log file.
+  void TearStableTail(size_t bytes);
+
+  // Test hook: crash mid-flush — move only the first `bytes` bytes of the
+  // volatile buffer to the stable region (possibly ending mid-record,
+  // i.e. a torn tail), drop the rest, and do NOT advance the watermark,
+  // exactly as an interrupted flush would leave the partition.
+  void PartialFlushTorn(size_t bytes);
+
+  uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
+  uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  size_t stable_size() const;
+
+ private:
+  GsnClock* const clock_;
+
+  TatasLock buffer_latch_;       // guards buffer_ and GSN stamping
+  std::vector<uint8_t> buffer_;  // volatile tail, records in GSN order
+
+  mutable std::mutex stable_mu_;  // serializes flushes + stable reads
+  std::vector<uint8_t> stable_;
+  std::atomic<Lsn> watermark_{0};  // written only under stable_mu_
+
+  std::atomic<uint64_t> appends_{0};
+  std::atomic<uint64_t> flushes_{0};
+};
+
+}  // namespace plog
+}  // namespace doradb
+
+#endif  // DORADB_PLOG_LOG_PARTITION_H_

@@ -1,0 +1,211 @@
+#include "plog/partitioned_log_manager.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+#include "util/thread_pool.h"
+
+namespace doradb {
+namespace plog {
+
+namespace {
+
+std::atomic<uint64_t> g_next_instance_id{1};
+
+// Sticky thread->partition binding, per manager instance. A thread touches
+// at most a handful of managers over its life (tests create several
+// Databases), so a tiny linear-scanned vector beats a hash map. Entries
+// for destroyed managers cannot be pruned from here (their ids are only
+// known to the owning thread), so the vector is capped: evicting a live
+// binding is harmless — the thread simply rebinds on its next append.
+constexpr size_t kMaxBindings = 64;
+
+struct Binding {
+  uint64_t instance;
+  uint32_t index;
+};
+thread_local std::vector<Binding> t_bindings;
+
+uint32_t* FindBinding(uint64_t instance) {
+  for (auto& b : t_bindings) {
+    if (b.instance == instance) return &b.index;
+  }
+  return nullptr;
+}
+
+void InsertBinding(uint64_t instance, uint32_t index) {
+  if (t_bindings.size() >= kMaxBindings) {
+    t_bindings.erase(t_bindings.begin());  // oldest first
+  }
+  t_bindings.push_back(Binding{instance, index});
+}
+
+}  // namespace
+
+PartitionedLogManager::PartitionedLogManager(Options options)
+    : options_(options),
+      instance_id_(g_next_instance_id.fetch_add(1,
+                                                std::memory_order_relaxed)) {
+  const uint32_t n = std::max<uint32_t>(1, options_.num_partitions);
+  partitions_.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    partitions_.push_back(std::make_unique<LogPartition>(&clock_));
+  }
+  // One flusher per partition on hardware that can host them; on smaller
+  // machines each flusher thread sweeps a slice of partitions so the
+  // thread count never exceeds the core count (oversubscription turns
+  // latch holds into scheduling stalls).
+  const uint32_t nf = std::min(n, std::max(1u, HardwareContexts()));
+  flushers_.reserve(nf);
+  for (uint32_t i = 0; i < nf; ++i) {
+    flushers_.emplace_back([this, i, nf] { FlusherLoop(i, nf); });
+  }
+}
+
+PartitionedLogManager::~PartitionedLogManager() {
+  stop_.store(true, std::memory_order_release);
+  for (auto& f : flushers_) {
+    if (f.joinable()) f.join();
+  }
+  for (auto& p : partitions_) p->Flush();
+}
+
+void PartitionedLogManager::BindThisThread(uint32_t hint) {
+  const uint32_t index = hint % num_partitions();
+  if (uint32_t* bound = FindBinding(instance_id_)) {
+    *bound = index;
+  } else {
+    InsertBinding(instance_id_, index);
+  }
+}
+
+uint32_t PartitionedLogManager::LocalIndex() const {
+  if (uint32_t* bound = FindBinding(instance_id_)) return *bound;
+  const uint32_t index =
+      next_unbound_.fetch_add(1, std::memory_order_relaxed) %
+      num_partitions();
+  InsertBinding(instance_id_, index);
+  return index;
+}
+
+uint32_t PartitionedLogManager::CurrentPartition() const {
+  return LocalIndex();
+}
+
+Lsn PartitionedLogManager::Append(LogRecord* rec) {
+  const Lsn gsn = partitions_[LocalIndex()]->Append(rec);
+  if (options_.log.synchronous) WaitFlushed(gsn);
+  return gsn;
+}
+
+Lsn PartitionedLogManager::flushed_lsn() const {
+  Lsn h = partitions_[0]->watermark();
+  for (size_t i = 1; i < partitions_.size(); ++i) {
+    h = std::min(h, partitions_[i]->watermark());
+  }
+  return h;
+}
+
+void PartitionedLogManager::WaitFlushed(Lsn lsn) {
+  if (flushed_lsn() >= lsn) return;
+  // Self-service group commit across partitions: flush only the laggards;
+  // one pass typically covers every record buffered so far system-wide.
+  // (Flush() attributes its own copy work; the nap is idle, not log work.)
+  for (;;) {
+    for (auto& p : partitions_) {
+      if (p->watermark() < lsn) p->Flush();
+    }
+    if (flushed_lsn() >= lsn) return;
+    NapMicros(options_.log.flush_interval_us);
+  }
+}
+
+void PartitionedLogManager::WaitFlushedFrom(uint32_t partition_hint,
+                                            Lsn lsn) {
+  // Flush the record's own partition eagerly; every other partition is
+  // advanced by its flusher (or its own commit daemon) within one
+  // group-commit window, so polling the horizon suffices and no
+  // cross-partition latch traffic is generated.
+  LogPartition* own = partitions_[partition_hint % partitions_.size()].get();
+  if (own->watermark() < lsn) own->Flush();
+  while (flushed_lsn() < lsn) {
+    NapMicros(options_.log.flush_interval_us);
+    if (own->watermark() < lsn) own->Flush();
+  }
+}
+
+void PartitionedLogManager::DiscardVolatileTail() {
+  // Crash: every partition loses its volatile buffer — independently, so
+  // one partition may retain durable records whose same-transaction
+  // predecessors just died in another's buffer. Do what a restart does:
+  // compute the consistent horizon and truncate every stable tail to it,
+  // so the surviving state is one committed prefix no matter how many
+  // crash/recover cycles follow.
+  Lsn horizon = ~Lsn{0};
+  for (auto& p : partitions_) {
+    horizon = std::min(horizon, p->DiscardVolatileAndClaim());
+  }
+  for (auto& p : partitions_) p->TruncateStableTo(horizon);
+}
+
+std::vector<LogRecord> PartitionedLogManager::ReadStable() const {
+  // Per-partition decode with torn-tail tolerance, then horizon merge.
+  std::vector<std::vector<LogRecord>> streams;
+  Lsn horizon = ~Lsn{0};
+  for (const auto& p : partitions_) {
+    std::vector<LogRecord> recs = p->ReadStable(nullptr);
+    // Two independently valid durability claims per partition: the
+    // watermark (all its records <= w are stable — covers idle
+    // partitions), and the last decodable GSN (its stable region is a
+    // prefix of its append stream, so everything up to that record is
+    // present — covers completed-but-unmarked partial flushes). Take the
+    // stronger; a torn tail only ever truncates the unmarked suffix.
+    const Lsn decoded_upto = recs.empty() ? 0 : recs.back().lsn;
+    horizon = std::min(horizon, std::max(p->watermark(), decoded_upto));
+    streams.push_back(std::move(recs));
+  }
+  std::vector<LogRecord> merged;
+  for (auto& stream : streams) {
+    for (auto& rec : stream) {
+      // Records above the horizon may have siblings (same txn, lower GSN,
+      // different partition) that were lost; dropping them restores the
+      // committed-prefix property the recovery driver assumes.
+      if (rec.lsn <= horizon) merged.push_back(std::move(rec));
+    }
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.lsn < b.lsn;
+            });
+  return merged;
+}
+
+void PartitionedLogManager::FlusherLoop(uint32_t index, uint32_t stride) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    NapMicros(options_.log.flush_interval_us);
+    for (size_t p = index; p < partitions_.size(); p += stride) {
+      partitions_[p]->Flush();
+    }
+  }
+}
+
+uint64_t PartitionedLogManager::appends() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->appends();
+  return n;
+}
+
+uint64_t PartitionedLogManager::flushes() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->flushes();
+  return n;
+}
+
+size_t PartitionedLogManager::stable_size() const {
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->stable_size();
+  return n;
+}
+
+}  // namespace plog
+}  // namespace doradb

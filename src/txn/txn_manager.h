@@ -12,14 +12,14 @@
 #include <vector>
 
 #include "lock/lock_manager.h"
-#include "log/log_manager.h"
+#include "log/log_backend.h"
 #include "txn/transaction.h"
 
 namespace doradb {
 
 class TxnManager {
  public:
-  TxnManager(LockManager* lm, LogManager* log) : lm_(lm), log_(log) {}
+  TxnManager(LockManager* lm, LogBackend* log) : lm_(lm), log_(log) {}
 
   // Start a transaction: allocate an id, register it with the lock
   // manager's deadlock detector, log kBegin.
@@ -35,7 +35,7 @@ class TxnManager {
 
  private:
   LockManager* const lm_;
-  LogManager* const log_;
+  LogBackend* const log_;
   std::atomic<TxnId> next_id_{1};
   std::atomic<uint64_t> started_{0};
 

@@ -10,12 +10,21 @@
 
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 
 #if defined(__x86_64__) || defined(__i386__)
 #include <x86intrin.h>
 #endif
 
 namespace doradb {
+
+// Sleep helper shared by the log flushers and group-commit waiters.
+inline void NapMicros(uint64_t us) {
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(us / 1000000);
+  ts.tv_nsec = static_cast<long>((us % 1000000) * 1000);
+  nanosleep(&ts, nullptr);
+}
 
 class Cycles {
  public:
