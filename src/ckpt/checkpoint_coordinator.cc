@@ -1,0 +1,125 @@
+#include "ckpt/checkpoint_coordinator.h"
+
+#include <algorithm>
+
+#include "util/clock.h"
+
+namespace doradb {
+namespace ckpt {
+
+CheckpointCoordinator::CheckpointCoordinator(BufferPool* pool,
+                                             LogBackend* log,
+                                             TxnManager* txns,
+                                             Options options)
+    : pool_(pool), log_(log), txns_(txns), options_(options) {}
+
+CheckpointCoordinator::~CheckpointCoordinator() { Stop(); }
+
+void CheckpointCoordinator::Start() {
+  if (!stop_.exchange(false, std::memory_order_acq_rel)) return;  // running
+  daemon_ = std::thread([this] { DaemonLoop(); });
+}
+
+void CheckpointCoordinator::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (daemon_.joinable()) daemon_.join();
+}
+
+void CheckpointCoordinator::DaemonLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    NapMicros(options_.interval_us);
+    if (stop_.load(std::memory_order_acquire)) return;
+    if (options_.partition_local) {
+      const uint32_t p = cursor_++ % log_->num_partitions();
+      (void)DoCheckpoint(p, /*all_partitions=*/false);
+    } else {
+      (void)DoCheckpoint(kCheckpointAllPartitions, /*all_partitions=*/true);
+    }
+  }
+}
+
+Status CheckpointCoordinator::CheckpointPartition(uint32_t partition) {
+  return DoCheckpoint(partition % log_->num_partitions(),
+                      /*all_partitions=*/false);
+}
+
+Status CheckpointCoordinator::CheckpointGlobal() {
+  return DoCheckpoint(kCheckpointAllPartitions, /*all_partitions=*/true);
+}
+
+Status CheckpointCoordinator::CheckpointAll() {
+  if (!options_.partition_local) return CheckpointGlobal();
+  for (uint32_t p = 0; p < log_->num_partitions(); ++p) {
+    DORADB_RETURN_NOT_OK(DoCheckpoint(p, /*all_partitions=*/false));
+  }
+  return Status::OK();
+}
+
+Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
+                                           bool all_partitions) {
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+
+  // (1) Horizon cap, snapshotted before anything else: any record stamped
+  // after this instant carries a larger LSN, so every in-flight operation
+  // the scans below might miss is beyond the horizon by construction.
+  const Lsn begin_lsn = log_->current_lsn();
+
+  // (2) Active transactions: their undo-low pins lower-bound every
+  // undoable record they ever log, covering changes whose rec_lsn stamp or
+  // heap apply is still in flight (registration outlives the last apply).
+  // Lock-only transactions (DORA's table-IX system transaction) never pin.
+  Lsn min_active_pin;
+  std::vector<TxnId> active = txns_->ActiveTxnSnapshot(&min_active_pin);
+
+  // (3) Fuzzy flush of this partition's share of the dirty pages; the
+  // pages left to other partitions' visits bound the horizon instead.
+  BufferPool::CheckpointScan scan;
+  DORADB_RETURN_NOT_OK(
+      pool_->FlushPartition(partition, all_partitions, &scan));
+
+  // (4) The redo horizon this checkpoint vouches for.
+  const Lsn horizon =
+      std::min({begin_lsn, min_active_pin, scan.min_rec_lsn});
+
+  // (5) Publish it: the record rides this partition's own stream. The
+  // caller's binding is restored afterwards — a bound executor invoking a
+  // manual checkpoint must not lose its private partition affinity.
+  const uint32_t prev_binding = log_->CurrentPartition();
+  if (!all_partitions) log_->BindThisThread(partition);
+  LogRecord rec;
+  rec.type = LogType::kCheckpointPart;
+  rec.ckpt_partition = all_partitions ? kCheckpointAllPartitions : partition;
+  rec.redo_horizon = horizon;
+  rec.active_txns = std::move(active);
+  const Lsn end = log_->Append(&rec);
+  if (!all_partitions) log_->BindThisThread(prev_binding);
+  log_->WaitFlushed(end);
+
+  // (6) Advance the truncation point. Safe regardless of whether the
+  // checkpoint record itself survives a crash: the horizon's validity
+  // rests on the page flushes above, which are already in the disk image.
+  if (options_.truncate) {
+    if (all_partitions) {
+      log_->ReclaimStableBelow(horizon);
+    } else {
+      log_->ReclaimPartitionBelow(partition, horizon);
+    }
+  }
+
+  last_horizon_.store(horizon, std::memory_order_release);
+  checkpoints_.fetch_add(1, std::memory_order_relaxed);
+  pages_flushed_.fetch_add(scan.pages_flushed, std::memory_order_relaxed);
+  pages_skipped_.fetch_add(scan.pages_skipped, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+CheckpointCoordinator::Stats CheckpointCoordinator::stats() const {
+  Stats s;
+  s.checkpoints = checkpoints_.load(std::memory_order_relaxed);
+  s.pages_flushed = pages_flushed_.load(std::memory_order_relaxed);
+  s.pages_skipped = pages_skipped_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace ckpt
+}  // namespace doradb

@@ -1,0 +1,129 @@
+// CheckpointCoordinator: partition-local fuzzy checkpoints with
+// checkpoint-driven log truncation.
+//
+// Database::Checkpoint used to stall the world — flush the entire buffer
+// pool, then write one global checkpoint record — and the stable log grew
+// without bound, so restart time scaled with total history. This daemon
+// decomposes the checkpoint the same way plog decomposed the append path:
+// it walks the log partitions round-robin and, per visit, runs one *fuzzy*
+// checkpoint of one partition, concurrent with transaction execution (no
+// quiescence — executors keep appending and dirtying pages throughout):
+//
+//   1. snapshot `begin_lsn` from the log clock — every record stamped
+//      after this instant exceeds it, capping the horizon against all
+//      in-flight races;
+//   2. snapshot the active-transaction table with its minimum undo-low
+//      pin — a registered transaction pins, just before its first heap-op
+//      append, a lower bound on every undoable record it will ever log,
+//      and stays registered until its last heap apply (post-commit deletes
+//      included), so un-applied or un-stamped changes are always covered
+//      by this term while lock-only transactions never hold it back;
+//   3. flush the dirty pages whose last logged writer was bound to this
+//      partition (a consistent copy per page, under the frame read latch),
+//      collecting the minimum rec_lsn of the dirty pages left to other
+//      partitions' visits;
+//   4. the redo horizon H = min(1, 2, 3): every record with LSN < H is
+//      reflected in the disk image and belongs to no transaction that
+//      could still need undo;
+//   5. append a kCheckpointPart record carrying H and the active set into
+//      this partition's own stream, wait for it to become durable, and
+//   6. advance this partition's truncation point: reclaim its stable
+//      region below H.
+//
+// Recovery consumes the horizons instead of the global record: redo starts
+// at the maximum durable H (records below it never need replay), and with
+// truncation on, the on-disk log itself is bounded by the un-checkpointed
+// suffix — restart cost is O(dirty data), not O(history).
+
+#ifndef DORADB_CKPT_CHECKPOINT_COORDINATOR_H_
+#define DORADB_CKPT_CHECKPOINT_COORDINATOR_H_
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "log/log_backend.h"
+#include "storage/buffer_pool.h"
+#include "txn/txn_manager.h"
+#include "util/status.h"
+
+namespace doradb {
+namespace ckpt {
+
+class CheckpointCoordinator {
+ public:
+  struct Options {
+    // Run the background daemon (manual Checkpoint* calls work either way).
+    bool enabled = false;
+    // Pause between partition visits.
+    uint64_t interval_us = 2000;
+    // Reclaim each partition's stable log below the redo horizon.
+    bool truncate = true;
+    // false: every visit flushes the whole pool and writes one global
+    // record — the pre-plog behaviour, kept for A/B benchmarking.
+    bool partition_local = true;
+  };
+
+  struct Stats {
+    uint64_t checkpoints = 0;    // kCheckpointPart records written
+    uint64_t pages_flushed = 0;  // dirty pages written back by checkpoints
+    uint64_t pages_skipped = 0;  // dirty pages left to other partitions
+  };
+
+  CheckpointCoordinator(BufferPool* pool, LogBackend* log, TxnManager* txns,
+                        Options options);
+  ~CheckpointCoordinator();
+  CheckpointCoordinator(const CheckpointCoordinator&) = delete;
+  CheckpointCoordinator& operator=(const CheckpointCoordinator&) = delete;
+
+  // Start/stop the round-robin daemon. Idempotent; Stop joins the thread
+  // (a crashed process takes its checkpointer with it, so SimulateCrash
+  // stops the daemon and Recover restarts it).
+  void Start();
+  void Stop();
+  bool running() const { return !stop_.load(std::memory_order_acquire); }
+
+  // One fuzzy checkpoint of one partition, synchronously, on the calling
+  // thread (which gets log-bound to `partition` so the checkpoint record
+  // lands in that partition's stream).
+  Status CheckpointPartition(uint32_t partition);
+
+  // One classic global checkpoint: whole-pool flush, one record covering
+  // all partitions, truncation of every stream.
+  Status CheckpointGlobal();
+
+  // One full pass: every partition in partition-local mode, or one global
+  // checkpoint otherwise.
+  Status CheckpointAll();
+
+  // The redo horizon of the most recent completed checkpoint.
+  Lsn last_horizon() const {
+    return last_horizon_.load(std::memory_order_acquire);
+  }
+  Stats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  void DaemonLoop();
+  Status DoCheckpoint(uint32_t partition, bool all_partitions);
+
+  BufferPool* const pool_;
+  LogBackend* const log_;
+  TxnManager* const txns_;
+  const Options options_;
+
+  std::mutex ckpt_mu_;  // serializes rounds (daemon + manual callers)
+  std::atomic<Lsn> last_horizon_{0};
+  std::atomic<uint64_t> checkpoints_{0};
+  std::atomic<uint64_t> pages_flushed_{0};
+  std::atomic<uint64_t> pages_skipped_{0};
+
+  std::atomic<bool> stop_{true};
+  std::thread daemon_;
+  uint32_t cursor_ = 0;  // next partition to visit (daemon only)
+};
+
+}  // namespace ckpt
+}  // namespace doradb
+
+#endif  // DORADB_CKPT_CHECKPOINT_COORDINATOR_H_

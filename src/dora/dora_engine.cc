@@ -284,6 +284,18 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     std::shared_ptr<DoraTxn> sp = TakeLive(dtxn);
     if (sp != nullptr) {
       FanOutCompletions(sp);  // early lock release, pre-durability
+      // Inline-ack fast path: when the global flush horizon already covers
+      // the commit GSN (synchronous log, or a flusher won the race), the
+      // commit is durable right now — finalize and complete the client on
+      // this executor instead of round-tripping through the ack daemon.
+      if (db_->log_manager()->flushed_lsn() >= commit_gsn) {
+        const Status s = db_->CommitFinalize(sp->txn());
+        committed_.fetch_add(1, std::memory_order_relaxed);
+        pipelined_.fetch_add(1, std::memory_order_relaxed);
+        acked_inline_.fetch_add(1, std::memory_order_relaxed);
+        sp->Complete(s);
+        return;
+      }
       // The commit record went to this thread's bound partition; its ack
       // queue lives at slot partition/shards of shard partition%shards.
       const uint32_t partition = db_->log_manager()->CurrentPartition() %

@@ -119,6 +119,11 @@ class DoraEngine {
   uint64_t txns_pipelined() const {
     return pipelined_.load(std::memory_order_relaxed);
   }
+  // Pipelined commits acknowledged inline because the flush horizon
+  // already covered their commit GSN (no ack-daemon round trip).
+  uint64_t txns_acked_inline() const {
+    return acked_inline_.load(std::memory_order_relaxed);
+  }
   std::vector<Executor*> AllExecutors() const;
 
  private:
@@ -178,6 +183,7 @@ class DoraEngine {
   std::atomic<uint64_t> committed_{0};
   std::atomic<uint64_t> aborted_{0};
   std::atomic<uint64_t> pipelined_{0};
+  std::atomic<uint64_t> acked_inline_{0};
 };
 
 }  // namespace dora

@@ -23,20 +23,30 @@ Database::Database(Options options)
       catalog_(std::make_unique<Catalog>(pool_.get())),
       lock_(std::make_unique<LockManager>(options.lock)),
       log_(MakeLogBackend(options)),
-      txns_(std::make_unique<TxnManager>(lock_.get(), log_.get())) {
+      txns_(std::make_unique<TxnManager>(lock_.get(), log_.get())),
+      ckpt_(std::make_unique<ckpt::CheckpointCoordinator>(
+          pool_.get(), log_.get(), txns_.get(), options.checkpoint)) {
   pool_->SetWalFlushCallback([this](Lsn lsn) {
     // WAL rule: the covering (partition) flush horizon must pass the page
     // LSN before the dirty page may be stolen.
     if (lsn != kInvalidLsn) log_->FlushTo(lsn);
   });
+  // Dirty-page attribution for partition-local checkpoints: a logged write
+  // belongs to the writer's bound log partition.
+  pool_->SetPartitionResolver(
+      [this] { return log_->CurrentPartition(); });
+  if (options_.checkpoint.enabled) ckpt_->Start();
 }
 
 Database::~Database() {
-  // Members destroy in reverse declaration order, which tears the log down
-  // before the pool — so flush dirty pages while the log is still alive
-  // (WAL rule intact), then detach the callback for the pool's own
-  // destructor. The seed hid this as a use-after-free that virtual
-  // dispatch on LogBackend turned into a crash.
+  // The checkpoint daemon reads the pool and appends to the log; stop it
+  // before either can die. Members then destroy in reverse declaration
+  // order, which tears the log down before the pool — so flush dirty pages
+  // while the log is still alive (WAL rule intact), then detach the
+  // callback for the pool's own destructor. The seed hid this as a
+  // use-after-free that virtual dispatch on LogBackend turned into a
+  // crash.
+  ckpt_->Stop();
   (void)pool_->FlushAll();
   pool_->SetWalFlushCallback(nullptr);
 }
@@ -176,6 +186,7 @@ Status Database::Insert(Transaction* txn, TableId table,
   rec.table = table;
   rec.rid = *rid;
   rec.after = std::string(record);
+  txn->PinUndoLow(log_->current_lsn());  // before the append: pin <= lsn
   txn->ChainAppend(log_.get(), &rec);
   // The LSN is only known after the physical insert; stamp it now (page
   // LSNs are monotone, so racing stampers are harmless).
@@ -204,6 +215,7 @@ Status Database::Update(Transaction* txn, TableId table, const Rid& rid,
   rec.rid = rid;
   rec.before = before;
   rec.after = std::string(record);
+  txn->PinUndoLow(log_->current_lsn());  // before the append: pin <= lsn
   txn->ChainAppend(log_.get(), &rec);
 
   DORADB_RETURN_NOT_OK(heap->Update(rid, record, nullptr, rec.lsn));
@@ -231,6 +243,7 @@ Status Database::Delete(Transaction* txn, TableId table, const Rid& rid,
   rec.table = table;
   rec.rid = rid;
   rec.before = before;
+  txn->PinUndoLow(log_->current_lsn());  // before the append: pin <= lsn
   txn->ChainAppend(log_.get(), &rec);
 
   txn->PushUndo(UndoRecord{UndoRecord::Kind::kDelete, table, rid,
@@ -264,17 +277,14 @@ Status Database::IndexRemove(Transaction* txn, IndexId index,
   return Status::OK();
 }
 
-Status Database::Checkpoint() {
-  DORADB_RETURN_NOT_OK(pool_->FlushAll());
-  LogRecord rec;
-  rec.type = LogType::kCheckpoint;
-  rec.active_txns = txns_->ActiveTxns();
-  const Lsn end = log_->Append(&rec);
-  log_->WaitFlushed(end);
-  return Status::OK();
+Status Database::Checkpoint() { return ckpt_->CheckpointGlobal(); }
+
+Status Database::CheckpointPartition(uint32_t partition) {
+  return ckpt_->CheckpointPartition(partition);
 }
 
 void Database::SimulateCrash() {
+  ckpt_->Stop();  // the daemon does not survive the process
   log_->DiscardVolatileTail();
   pool_->DiscardAll();
 }

@@ -21,6 +21,7 @@
 #include <functional>
 #include <memory>
 
+#include "ckpt/checkpoint_coordinator.h"
 #include "lock/lock_manager.h"
 #include "log/log_backend.h"
 #include "log/log_manager.h"
@@ -63,6 +64,10 @@ class Database {
     // Partition count for LogBackendKind::kPartitioned; size it to the
     // executor count so each executor appends to a private partition.
     uint32_t log_partitions = 4;
+    // Fuzzy-checkpoint daemon: partition-local checkpoints + log
+    // truncation (src/ckpt/). Off by default; manual Checkpoint calls
+    // work regardless.
+    ckpt::CheckpointCoordinator::Options checkpoint;
   };
 
   explicit Database(Options options);
@@ -77,6 +82,7 @@ class Database {
   TxnManager* txn_manager() { return txns_.get(); }
   BufferPool* buffer_pool() { return pool_.get(); }
   DiskManager* disk() { return disk_.get(); }
+  ckpt::CheckpointCoordinator* checkpointer() { return ckpt_.get(); }
 
   // ---- transaction lifecycle ----
 
@@ -122,11 +128,20 @@ class Database {
 
   // ---- checkpoints, crash & restart ----
 
-  // Fuzzy checkpoint: flush dirty pages, log active-transaction table.
+  // Global fuzzy checkpoint: flush all logged dirty pages, write one
+  // checkpoint record covering every partition, reclaim the log below the
+  // resulting redo horizon (when Options::checkpoint.truncate).
   Status Checkpoint();
 
+  // Partition-local fuzzy checkpoint of one log partition: flush only that
+  // partition's dirty pages and advance only its truncation point. The
+  // background daemon (Options::checkpoint.enabled) walks partitions
+  // round-robin calling exactly this.
+  Status CheckpointPartition(uint32_t partition);
+
   // Crash simulation: drop the buffer pool and the volatile log tail.
-  // In-flight transactions are forgotten (they become recovery losers).
+  // In-flight transactions are forgotten (they become recovery losers);
+  // the checkpoint daemon dies with the process (Recover restarts it).
   void SimulateCrash();
 
   // ARIES restart: analysis over the stable log, redo of winners' history,
@@ -148,6 +163,7 @@ class Database {
   std::unique_ptr<LockManager> lock_;
   std::unique_ptr<LogBackend> log_;
   std::unique_ptr<TxnManager> txns_;
+  std::unique_ptr<ckpt::CheckpointCoordinator> ckpt_;
 };
 
 }  // namespace doradb

@@ -57,9 +57,24 @@ class LogBackend {
   // truncates to the consistent recovery horizon).
   virtual std::vector<LogRecord> ReadStable() const = 0;
 
+  // Checkpoint-driven truncation: drop stable records with LSN strictly
+  // below `point` — the caller (src/ckpt/) vouches that everything below
+  // is reflected in the disk image and belongs to no transaction that
+  // could still need undo. Whole records only; the stream stays decodable.
+  virtual void ReclaimStableBelow(Lsn point) { (void)point; }
+  // Partition-scoped variant: reclaim only one partition's stable region
+  // (the checkpoint coordinator advances truncation points per partition).
+  // Single-stream backends ignore the partition and reclaim globally.
+  virtual void ReclaimPartitionBelow(uint32_t partition, Lsn point) {
+    (void)partition;
+    ReclaimStableBelow(point);
+  }
+
   virtual uint64_t appends() const = 0;
   virtual uint64_t flushes() const = 0;
   virtual size_t stable_size() const = 0;
+  // Total bytes dropped by ReclaimStableBelow over this backend's life.
+  virtual uint64_t reclaimed_bytes() const { return 0; }
 
   // Partition-affinity hint: a DORA executor calls this once with its
   // global index so its appends go to a private partition. No-op for the

@@ -92,6 +92,17 @@ std::vector<LogRecord> LogManager::ReadStable() const {
   return out;
 }
 
+void LogManager::ReclaimStableBelow(Lsn point) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  reclaimed_.fetch_add(ReclaimLogPrefixBelow(&stable_, point),
+                       std::memory_order_relaxed);
+}
+
+void LogManager::FlipStableByte(size_t index) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  if (index < stable_.size()) stable_[index] ^= 0xFF;
+}
+
 size_t LogManager::stable_size() const {
   std::lock_guard<std::mutex> g(stable_mu_);
   return stable_.size();

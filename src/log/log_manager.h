@@ -63,6 +63,19 @@ class LogManager final : public LogBackend {
   // Recovery: decode the stable region (tolerates a torn last record).
   std::vector<LogRecord> ReadStable() const override;
 
+  // Checkpoint truncation: drop whole stable records with lsn < point.
+  // LSNs are byte offsets, but nothing indexes the stable region by
+  // offset — records carry their own LSN and decode sequentially, so
+  // dropping a byte prefix keeps the stream self-describing.
+  void ReclaimStableBelow(Lsn point) override;
+  uint64_t reclaimed_bytes() const override {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
+  // Test hook: flip one stable byte, simulating media corruption in the
+  // middle of the log (the per-record CRC must catch it).
+  void FlipStableByte(size_t index);
+
   uint64_t appends() const override {
     return appends_.load(std::memory_order_relaxed);
   }
@@ -91,6 +104,7 @@ class LogManager final : public LogBackend {
 
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> reclaimed_{0};
 };
 
 }  // namespace doradb

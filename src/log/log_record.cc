@@ -3,6 +3,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/crc32.h"
+
 namespace doradb {
 
 namespace {
@@ -38,11 +40,15 @@ bool GetBytes(const std::vector<uint8_t>& in, size_t* off, std::string* s) {
   return true;
 }
 
+// Wire prefix: u32 total length + u32 payload CRC.
+constexpr size_t kPrefixBytes = 2 * sizeof(uint32_t);
+
 }  // namespace
 
 size_t LogRecord::SerializeTo(std::vector<uint8_t>* out) const {
   const size_t start = out->size();
   Put<uint32_t>(out, 0);  // placeholder for total length
+  Put<uint32_t>(out, 0);  // placeholder for payload CRC32
   Put<uint8_t>(out, static_cast<uint8_t>(type));
   Put<uint64_t>(out, txn);
   Put<uint64_t>(out, lsn);
@@ -51,12 +57,20 @@ size_t LogRecord::SerializeTo(std::vector<uint8_t>* out) const {
   Put<uint64_t>(out, rid.Pack());
   Put<uint64_t>(out, undo_next);
   Put<uint8_t>(out, static_cast<uint8_t>(clr_action));
+  Put<uint32_t>(out, ckpt_partition);
+  Put<uint64_t>(out, redo_horizon);
   PutBytes(out, before);
   PutBytes(out, after);
   Put<uint32_t>(out, static_cast<uint32_t>(active_txns.size()));
   for (TxnId t : active_txns) Put<uint64_t>(out, t);
   const uint32_t total = static_cast<uint32_t>(out->size() - start);
   std::memcpy(out->data() + start, &total, sizeof(total));
+  // CRC over the payload — everything after the (length, crc) prefix — so
+  // a bit flip anywhere in the record body fails decode, not just a short
+  // read at the tail.
+  const size_t payload = start + kPrefixBytes;
+  const uint32_t crc = Crc32(out->data() + payload, out->size() - payload);
+  std::memcpy(out->data() + start + sizeof(uint32_t), &crc, sizeof(crc));
   return total;
 }
 
@@ -65,7 +79,13 @@ bool LogRecord::DeserializeFrom(const std::vector<uint8_t>& data,
   size_t off = *offset;
   uint32_t total;
   if (!Get(data, &off, &total)) return false;
-  if (*offset + total > data.size()) return false;  // torn tail
+  if (total < kPrefixBytes) return false;            // garbage length
+  if (*offset + total > data.size()) return false;   // torn tail
+  uint32_t stored_crc;
+  if (!Get(data, &off, &stored_crc)) return false;
+  const uint32_t actual_crc =
+      Crc32(data.data() + *offset + kPrefixBytes, total - kPrefixBytes);
+  if (stored_crc != actual_crc) return false;  // corrupted middle
   uint8_t type8;
   if (!Get(data, &off, &type8)) return false;
   out->type = static_cast<LogType>(type8);
@@ -80,6 +100,8 @@ bool LogRecord::DeserializeFrom(const std::vector<uint8_t>& data,
   uint8_t clr8;
   if (!Get(data, &off, &clr8)) return false;
   out->clr_action = static_cast<LogType>(clr8);
+  if (!Get(data, &off, &out->ckpt_partition)) return false;
+  if (!Get(data, &off, &out->redo_horizon)) return false;
   if (!GetBytes(data, &off, &out->before)) return false;
   if (!GetBytes(data, &off, &out->after)) return false;
   uint32_t nactive;
@@ -94,10 +116,21 @@ bool LogRecord::DeserializeFrom(const std::vector<uint8_t>& data,
   return true;
 }
 
+size_t ReclaimLogPrefixBelow(std::vector<uint8_t>* stable, Lsn point) {
+  size_t drop = 0, off = 0;
+  LogRecord rec;
+  while (LogRecord::DeserializeFrom(*stable, &off, &rec)) {
+    if (rec.lsn >= point) break;
+    drop = off;
+  }
+  if (drop != 0) stable->erase(stable->begin(), stable->begin() + drop);
+  return drop;
+}
+
 std::string LogRecord::ToString() const {
-  static const char* kNames[] = {"?",      "BEGIN", "INSERT", "UPDATE",
+  static const char* kNames[] = {"?",      "BEGIN",  "INSERT", "UPDATE",
                                  "DELETE", "COMMIT", "ABORT",  "END",
-                                 "CLR",    "CKPT"};
+                                 "CLR",    "CKPT",   "CKPT-P"};
   std::ostringstream os;
   os << "[" << lsn << "] " << kNames[static_cast<int>(type)] << " txn="
      << txn << " prev=" << prev_lsn;

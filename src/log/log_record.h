@@ -25,8 +25,13 @@ enum class LogType : uint8_t {
   kAbort = 6,   // abort decided; CLRs follow
   kEnd = 7,     // transaction fully finished (after commit or rollback)
   kClr = 8,     // compensation: redo-only
-  kCheckpoint = 9,
+  kCheckpoint = 9,      // legacy global fuzzy checkpoint (whole pool flushed)
+  kCheckpointPart = 10,  // partition-local fuzzy checkpoint (src/ckpt/)
 };
+
+// ckpt_partition value for a checkpoint record covering every partition
+// (the legacy global Checkpoint() path and the central backend).
+constexpr uint32_t kCheckpointAllPartitions = 0xFFFFFFFFu;
 
 struct LogRecord {
   LogType type = LogType::kBegin;
@@ -40,18 +45,34 @@ struct LogRecord {
   Lsn undo_next = kInvalidLsn;  // kClr: next record to undo
   // kClr: the operation this CLR compensates, to make its redo applicable.
   LogType clr_action = LogType::kBegin;
-  // kCheckpoint: transactions active at checkpoint time.
+  // kCheckpoint / kCheckpointPart: transactions active at checkpoint time.
   std::vector<TxnId> active_txns;
+  // kCheckpointPart: which log partition this checkpoint belongs to
+  // (kCheckpointAllPartitions for a coordinator-driven global round), and
+  // the redo horizon it vouches for — every record with lsn < redo_horizon
+  // was reflected in the disk image when the checkpoint was taken, so
+  // recovery may start redo there and the log may reclaim below it.
+  uint32_t ckpt_partition = 0;
+  Lsn redo_horizon = kInvalidLsn;
 
-  // Wire encoding (appended to `out`); returns encoded size.
+  // Wire encoding (appended to `out`); returns encoded size. Every record
+  // carries a CRC32 of its payload so recovery detects a corrupted middle,
+  // not just a structurally torn tail.
   size_t SerializeTo(std::vector<uint8_t>* out) const;
   // Decodes one record at `data + offset`; advances offset. False if the
-  // buffer is exhausted or the record is torn (partial tail write).
+  // buffer is exhausted, the record is torn (partial tail write), or the
+  // checksum does not match (corruption).
   static bool DeserializeFrom(const std::vector<uint8_t>& data,
                               size_t* offset, LogRecord* out);
 
   std::string ToString() const;
 };
+
+// Drop the byte prefix of an LSN-ordered serialized record stream holding
+// every whole record with lsn < point (survivors are a byte suffix).
+// Returns the number of bytes removed. Shared by both WAL backends'
+// checkpoint truncation; callers hold their own stable-region lock.
+size_t ReclaimLogPrefixBelow(std::vector<uint8_t>* stable, Lsn point);
 
 }  // namespace doradb
 

@@ -9,7 +9,10 @@ namespace doradb {
 Status Database::Recover(
     const std::function<Status(Database*)>& rebuild_indexes) {
   RecoveryDriver driver(this);
-  return driver.Run(rebuild_indexes);
+  const Status s = driver.Run(rebuild_indexes);
+  // The restarted system resumes checkpointing where the crashed one died.
+  if (s.ok() && options_.checkpoint.enabled) ckpt_->Start();
+  return s;
 }
 
 Status RecoveryDriver::Run(
@@ -35,6 +38,17 @@ Status RecoveryDriver::Analysis() {
       case LogType::kEnd:
         ended_.insert(rec.txn);
         break;
+      case LogType::kCheckpointPart:
+        // Each durable checkpoint record's horizon is an independently
+        // valid global claim (everything below it was on disk when it was
+        // taken); the strongest one bounds redo. Records below it may
+        // already be truncated away — the claim holds regardless.
+        if (rec.redo_horizon != kInvalidLsn &&
+            (stats_.redo_start == kInvalidLsn ||
+             rec.redo_horizon > stats_.redo_start)) {
+          stats_.redo_start = rec.redo_horizon;
+        }
+        break;
       default:
         break;
     }
@@ -43,7 +57,22 @@ Status RecoveryDriver::Analysis() {
     if (committed_.count(txn) != 0) {
       ++stats_.winners;
     } else if (ended_.count(txn) == 0) {
-      ++stats_.losers;
+      // A transaction still undecided at the crash has every undoable
+      // record at or above the strongest surviving redo horizon: either
+      // it had logged heap work when that checkpoint ran (its undo-low
+      // pin held the horizon at or below its first such record) or its
+      // work postdates the horizon's clock snapshot. So a commit-less
+      // transaction whose LAST surviving record sits below the horizon
+      // was decided before that checkpoint — its commit/end record was
+      // legitimately truncated along with its reflected-on-disk history —
+      // and undoing it would roll back a committed transaction. (A
+      // work-less transaction cleared here has nothing to undo anyway.)
+      if (stats_.redo_start != kInvalidLsn && lsn < stats_.redo_start) {
+        ++stats_.cleared_by_horizon;
+        ended_.insert(txn);  // decided pre-checkpoint: nothing to undo
+      } else {
+        ++stats_.losers;
+      }
     }
     // Aborted-and-ended transactions were fully compensated before the
     // crash; replaying their ops + CLRs nets out (repeating history).
@@ -106,6 +135,12 @@ Status RecoveryDriver::Redo() {
       continue;
     }
     if (catalog->GetTable(rec.table) == nullptr) continue;
+    // Below the checkpoint redo horizon: the effect was already in the
+    // disk image before the crash — skip without even fetching the page.
+    if (stats_.redo_start != kInvalidLsn && rec.lsn < stats_.redo_start) {
+      ++stats_.redo_skipped_horizon;
+      continue;
+    }
     Lsn page_lsn;
     DORADB_RETURN_NOT_OK(PageLsnOf(rec.table, rec.rid.page_id, &page_lsn));
     if (page_lsn >= rec.lsn) {
@@ -119,6 +154,17 @@ Status RecoveryDriver::Redo() {
     switch (action) {
       case LogType::kInsert:
         s = heap->InsertAt(rec.rid, rec.after, rec.lsn);
+        if (s.IsBusy()) {
+          // Idempotent redo: a checkpoint or eviction may have flushed the
+          // page in the window between the physical insert and its
+          // page-LSN stamp, so the tuple is already on disk under a stale
+          // LSN. Accept an identical occupant and just advance the stamp;
+          // a different occupant is genuine corruption.
+          std::string existing;
+          if (heap->Get(rec.rid, &existing).ok() && existing == rec.after) {
+            s = heap->StampPageLsn(rec.rid.page_id, rec.lsn);
+          }
+        }
         break;
       case LogType::kUpdate:
         s = heap->Update(rec.rid, rec.after, nullptr, rec.lsn);

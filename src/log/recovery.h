@@ -33,9 +33,18 @@ class RecoveryDriver {
     size_t winners = 0;
     size_t losers = 0;
     size_t redo_applied = 0;
-    size_t redo_skipped_lsn = 0;  // page LSN said already applied
+    size_t redo_skipped_lsn = 0;      // page LSN said already applied
+    size_t redo_skipped_horizon = 0;  // below a checkpoint's redo horizon
+    // Commit-less transactions whose surviving records all sit below the
+    // redo horizon: decided before that checkpoint (the deciding record
+    // was truncated), so they are NOT losers and must not be undone.
+    size_t cleared_by_horizon = 0;
     size_t undo_applied = 0;
     size_t heap_pages_adopted = 0;
+    // Redo start point: the maximum redo horizon among durable checkpoint
+    // records (kInvalidLsn if none survived). Everything below it was in
+    // the disk image when that checkpoint ran.
+    Lsn redo_start = kInvalidLsn;
   };
 
   explicit RecoveryDriver(Database* db) : db_(db) {}

@@ -25,7 +25,13 @@ namespace plog {
 class GsnClock {
  public:
   // Issue the next GSN (first issued value is 1; 0 is kInvalidLsn).
-  Lsn Next() { return next_.fetch_add(1, std::memory_order_relaxed); }
+  // acq_rel: an observer whose last_issued() covers a GSN must also see
+  // everything the issuing thread wrote before drawing it (the checkpoint
+  // horizon cap reads the clock and then trusts per-transaction undo-low
+  // pins that were stored before their records' GSNs were drawn; RMWs
+  // extend the release sequence, so the acquire load below synchronizes
+  // with every issuance it covers).
+  Lsn Next() { return next_.fetch_add(1, std::memory_order_acq_rel); }
 
   // Highest GSN issued so far. A partition that observes this value while
   // its buffer is empty knows every GSN it will ever host from now on is

@@ -88,6 +88,17 @@ std::vector<LogRecord> LogPartition::ReadStable(bool* clean) const {
   return out;
 }
 
+void LogPartition::ReclaimStableBelow(Lsn point) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  reclaimed_.fetch_add(ReclaimLogPrefixBelow(&stable_, point),
+                       std::memory_order_relaxed);
+}
+
+void LogPartition::FlipStableByte(size_t index) {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  if (index < stable_.size()) stable_[index] ^= 0xFF;
+}
+
 void LogPartition::PartialFlushTorn(size_t bytes) {
   std::lock_guard<std::mutex> g(stable_mu_);
   TatasGuard b(buffer_latch_, TimeClass::kLogContention);

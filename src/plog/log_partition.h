@@ -59,6 +59,16 @@ class LogPartition {
   // later crash/recover cycle sees a globally consistent prefix.
   void TruncateStableTo(Lsn horizon);
 
+  // Checkpoint truncation (the other end): reclaim every stable record
+  // with GSN < `point`. The checkpoint coordinator vouches that those
+  // records are reflected in the disk image and that no live transaction
+  // can still need them for undo. Whole records only — the surviving
+  // stream remains a decodable GSN-ordered suffix of the append stream.
+  void ReclaimStableBelow(Lsn point);
+  uint64_t reclaimed_bytes() const {
+    return reclaimed_.load(std::memory_order_relaxed);
+  }
+
   // Decode the stable region. Returns records in GSN order; sets `*clean`
   // to false if a torn tail truncated the stream, in which case the
   // partition's effective horizon is the last decoded GSN, not watermark().
@@ -67,6 +77,10 @@ class LogPartition {
   // Test hook: tear `bytes` off the stable tail, simulating a partial
   // last write to this partition's log file.
   void TearStableTail(size_t bytes);
+
+  // Test hook: flip one stable byte, simulating media corruption in the
+  // middle of the stream (the per-record CRC must catch it).
+  void FlipStableByte(size_t index);
 
   // Test hook: crash mid-flush — move only the first `bytes` bytes of the
   // volatile buffer to the stable region (possibly ending mid-record,
@@ -90,6 +104,7 @@ class LogPartition {
 
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> flushes_{0};
+  std::atomic<uint64_t> reclaimed_{0};
 };
 
 }  // namespace plog

@@ -180,6 +180,21 @@ std::vector<LogRecord> PartitionedLogManager::ReadStable() const {
   return merged;
 }
 
+void PartitionedLogManager::ReclaimStableBelow(Lsn point) {
+  for (auto& p : partitions_) p->ReclaimStableBelow(point);
+}
+
+void PartitionedLogManager::ReclaimPartitionBelow(uint32_t partition,
+                                                  Lsn point) {
+  partitions_[partition % partitions_.size()]->ReclaimStableBelow(point);
+}
+
+uint64_t PartitionedLogManager::reclaimed_bytes() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->reclaimed_bytes();
+  return n;
+}
+
 void PartitionedLogManager::FlusherLoop(uint32_t index, uint32_t stride) {
   while (!stop_.load(std::memory_order_acquire)) {
     NapMicros(options_.log.flush_interval_us);

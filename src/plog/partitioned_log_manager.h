@@ -68,6 +68,10 @@ class PartitionedLogManager final : public LogBackend {
   void DiscardVolatileTail() override;
   std::vector<LogRecord> ReadStable() const override;
 
+  void ReclaimStableBelow(Lsn point) override;
+  void ReclaimPartitionBelow(uint32_t partition, Lsn point) override;
+  uint64_t reclaimed_bytes() const override;
+
   uint64_t appends() const override;
   uint64_t flushes() const override;
   size_t stable_size() const override;

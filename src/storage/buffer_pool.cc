@@ -45,7 +45,28 @@ void PageGuard::Unlatch() {
 
 void PageGuard::MarkDirty() {
   assert(latch_state_ == LatchState::kExclusive);
-  pool_->frames_[frame_idx_].dirty = true;
+  pool_->frames_[frame_idx_].dirty.store(true, std::memory_order_relaxed);
+}
+
+void PageGuard::MarkDirty(Lsn rec_lsn) {
+  assert(latch_state_ == LatchState::kExclusive);
+  BufferPool::Frame& f = pool_->frames_[frame_idx_];
+  f.dirty.store(true, std::memory_order_relaxed);
+  if (rec_lsn != kInvalidLsn) {
+    // rec_lsn keeps the FIRST dirtier since the frame was last clean (the
+    // redo horizon must reach back to the oldest un-persisted change);
+    // attribution follows the LAST logged writer (that partition's
+    // checkpoint will flush the page). The exclusive frame latch excludes
+    // competing dirty-path writers, so load+store suffices.
+    const Lsn cur = f.rec_lsn.load(std::memory_order_relaxed);
+    if (cur == kInvalidLsn || rec_lsn < cur) {
+      f.rec_lsn.store(rec_lsn, std::memory_order_relaxed);
+    }
+    f.writer_partition.store(pool_->partition_of_thread_
+                                 ? pool_->partition_of_thread_()
+                                 : 0,
+                             std::memory_order_relaxed);
+  }
 }
 
 void PageGuard::Release() {
@@ -82,11 +103,11 @@ bool BufferPool::AllocateFrame(size_t* out_idx) {
       continue;
     }
     // Victim found: write back if dirty, then unmap.
-    if (f.dirty) {
+    if (f.dirty.load(std::memory_order_relaxed)) {
       const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(idx));
       if (wal_flush_) wal_flush_(hdr->page_lsn);
       disk_->WritePage(f.page_id, FrameData(idx));
-      f.dirty = false;
+      CleanFrame(f);
     }
     page_table_.erase(f.page_id);
     f.page_id = kInvalidPageId;
@@ -105,7 +126,10 @@ Status BufferPool::NewPage(PageGuard* out, PageId* page_id) {
   Frame& f = frames_[idx];
   f.page_id = id;
   f.referenced = true;
-  f.dirty = true;  // a new page must eventually reach the disk image
+  // A new page must eventually reach the disk image.
+  f.dirty.store(true, std::memory_order_relaxed);
+  f.rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+  f.writer_partition.store(kNoWriterPartition, std::memory_order_relaxed);
   f.pin_count.store(1, std::memory_order_relaxed);
   std::memset(FrameData(idx), 0, kPageSize);
   page_table_[id] = idx;
@@ -132,7 +156,7 @@ Status BufferPool::FetchPage(PageId page_id, PageGuard* out) {
   Frame& f = frames_[idx];
   f.page_id = page_id;
   f.referenced = true;
-  f.dirty = false;
+  CleanFrame(f);
   f.pin_count.store(1, std::memory_order_relaxed);
   page_table_[page_id] = idx;
   *out = PageGuard(this, idx, FrameData(idx));
@@ -144,12 +168,12 @@ Status BufferPool::FlushPage(PageId page_id) {
   auto it = page_table_.find(page_id);
   if (it == page_table_.end()) return Status::NotFound("page not resident");
   Frame& f = frames_[it->second];
-  if (f.dirty) {
+  if (f.dirty.load(std::memory_order_relaxed)) {
     const auto* hdr =
         reinterpret_cast<const PageHeaderBase*>(FrameData(it->second));
     if (wal_flush_) wal_flush_(hdr->page_lsn);
     DORADB_RETURN_NOT_OK(disk_->WritePage(page_id, FrameData(it->second)));
-    f.dirty = false;
+    CleanFrame(f);
   }
   return Status::OK();
 }
@@ -158,11 +182,63 @@ Status BufferPool::FlushAll() {
   TatasGuard g(map_lock_, TimeClass::kBufferContention);
   for (size_t i = 0; i < num_frames_; ++i) {
     Frame& f = frames_[i];
-    if (f.page_id == kInvalidPageId || !f.dirty) continue;
+    if (f.page_id == kInvalidPageId ||
+        !f.dirty.load(std::memory_order_relaxed)) {
+      continue;
+    }
     const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(i));
     if (wal_flush_) wal_flush_(hdr->page_lsn);
     DORADB_RETURN_NOT_OK(disk_->WritePage(f.page_id, FrameData(i)));
-    f.dirty = false;
+    CleanFrame(f);
+  }
+  return Status::OK();
+}
+
+Status BufferPool::FlushPartition(uint32_t partition, bool all_partitions,
+                                  CheckpointScan* scan) {
+  *scan = CheckpointScan{};
+  for (size_t i = 0; i < num_frames_; ++i) {
+    Frame& f = frames_[i];
+    PageId pid;
+    {
+      TatasGuard g(map_lock_, TimeClass::kBufferContention);
+      if (f.page_id == kInvalidPageId ||
+          !f.dirty.load(std::memory_order_relaxed)) {
+        continue;
+      }
+      const Lsn rec_lsn = f.rec_lsn.load(std::memory_order_relaxed);
+      if (rec_lsn == kInvalidLsn) continue;  // unlogged; see header
+      const bool mine =
+          all_partitions ||
+          f.writer_partition.load(std::memory_order_relaxed) == partition;
+      if (!mine) {
+        if (rec_lsn < scan->min_rec_lsn) scan->min_rec_lsn = rec_lsn;
+        ++scan->pages_skipped;
+        continue;
+      }
+      // Pin under the map lock so the frame cannot be evicted, then drop
+      // the lock before latching — a writer holding the frame latch never
+      // needs the map lock, so this ordering cannot deadlock.
+      f.pin_count.fetch_add(1, std::memory_order_relaxed);
+      pid = f.page_id;
+    }
+    f.latch.ReadLock(TimeClass::kBufferContention);
+    Status s;
+    if (f.dirty.load(std::memory_order_relaxed)) {
+      // The read latch excludes writers: the copy below is a consistent
+      // page version, and nobody can re-dirty it until we unlatch — so
+      // clearing the dirty metadata after the write is race-free.
+      const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(i));
+      if (wal_flush_) wal_flush_(hdr->page_lsn);
+      s = disk_->WritePage(pid, FrameData(i));
+      if (s.ok()) {
+        CleanFrame(f);
+        ++scan->pages_flushed;
+      }
+    }
+    f.latch.ReadUnlock();
+    Unpin(i);
+    DORADB_RETURN_NOT_OK(s);
   }
   return Status::OK();
 }
@@ -173,7 +249,7 @@ void BufferPool::DiscardAll() {
     frames_[i].page_id = kInvalidPageId;
     frames_[i].pin_count.store(0, std::memory_order_relaxed);
     frames_[i].referenced = false;
-    frames_[i].dirty = false;
+    CleanFrame(frames_[i]);
   }
   page_table_.clear();
   clock_hand_ = 0;

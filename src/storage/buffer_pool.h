@@ -9,6 +9,14 @@
 // WAL rule: a dirty page may only be written back after the log has been
 // flushed up to the page's LSN; the pool calls the registered wal-flush
 // callback before every dirty eviction/flush.
+//
+// Checkpoint support (src/ckpt/): each frame remembers the LSN of the
+// record that first dirtied it since it was last clean (its rec_lsn — the
+// ARIES dirty-page-table entry) and the log partition of its most recent
+// logged writer. FlushPartition() writes back only one partition's dirty
+// pages — under the frame read latch, so the disk image is a consistent
+// page version — and reports the minimum rec_lsn over the dirty pages it
+// left behind, which is the redo-horizon contribution of the pool.
 
 #ifndef DORADB_STORAGE_BUFFER_POOL_H_
 #define DORADB_STORAGE_BUFFER_POOL_H_
@@ -50,6 +58,12 @@ class PageGuard {
 
   // Mark the frame dirty (must hold the exclusive latch).
   void MarkDirty();
+  // Mark dirty with the dirtying record's LSN: records the frame's rec_lsn
+  // (first dirtier since last clean) and attributes the write to the
+  // calling thread's log partition. Heap operations use this; unlogged
+  // writers (B+Tree nodes — derived state) use the plain overload and
+  // never constrain the checkpoint redo horizon.
+  void MarkDirty(Lsn rec_lsn);
 
   uint8_t* data() { return data_; }
   SlottedPage AsSlotted() { return SlottedPage(data_); }
@@ -68,12 +82,32 @@ class PageGuard {
 
 class BufferPool {
  public:
+  // writer_partition value when the last dirtier is unknown (unlogged
+  // writes, or pages dirtied before any logged operation touched them).
+  static constexpr uint32_t kNoWriterPartition = 0xFFFFFFFFu;
+
+  // What one fuzzy checkpoint scan observed.
+  struct CheckpointScan {
+    // Minimum rec_lsn over dirty pages left unflushed by this scan (~0 if
+    // none): the pool's contribution to the checkpoint redo horizon.
+    Lsn min_rec_lsn = ~Lsn{0};
+    size_t pages_flushed = 0;   // dirty pages written back by this scan
+    size_t pages_skipped = 0;   // dirty pages left to other partitions
+  };
+
   BufferPool(DiskManager* disk, size_t num_frames);
   ~BufferPool();
 
   // Called with the page LSN before any dirty page write-back.
   void SetWalFlushCallback(std::function<void(Lsn)> cb) {
     wal_flush_ = std::move(cb);
+  }
+
+  // Resolves the calling thread's log partition for write attribution
+  // (Database wires this to LogBackend::CurrentPartition). Unset: all
+  // logged writes attribute to partition 0.
+  void SetPartitionResolver(std::function<uint32_t()> fn) {
+    partition_of_thread_ = std::move(fn);
   }
 
   // Allocate + pin a fresh, zero-initialized page.
@@ -84,6 +118,18 @@ class BufferPool {
 
   Status FlushPage(PageId page_id);
   Status FlushAll();
+
+  // Fuzzy checkpoint flush: write back dirty pages attributed to
+  // `partition` (all logged-writer pages when `all_partitions`), without
+  // quiescing writers — each page is copied under its frame read latch, so
+  // the disk image is a consistent version even while executors keep
+  // updating other pages. Dirty pages left behind report their minimum
+  // rec_lsn through `scan`. Unlogged dirty pages (rec_lsn unknown) are
+  // skipped entirely: B+Tree nodes are derived state, and a logged write
+  // whose rec_lsn stamp is still in flight belongs to a registered
+  // transaction, which the checkpoint's active-txn minimum already covers.
+  Status FlushPartition(uint32_t partition, bool all_partitions,
+                        CheckpointScan* scan);
 
   // Crash simulation: drop every frame WITHOUT writing dirty pages back.
   // All pins must have been released (the system is quiesced).
@@ -103,9 +149,29 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     std::atomic<uint32_t> pin_count{0};
     bool referenced = false;
-    bool dirty = false;
+    // Atomic for the same reason as rec_lsn below: the checkpoint scan
+    // reads it under map_lock_ while MarkDirty sets it under the frame
+    // latch.
+    std::atomic<bool> dirty{false};
+    // LSN of the record that first dirtied this frame since it was last
+    // clean (kInvalidLsn if no logged write since then) and the log
+    // partition of the most recent logged writer. Atomics because the
+    // checkpoint scan reads them under map_lock_ while writers mutate
+    // them under the frame latch — the values feed the redo horizon, so a
+    // torn read is a correctness bug, not noise. Relaxed ordering is
+    // enough: a scan that misses an in-flight store is covered by the
+    // writer transaction's undo-low pin (see ckpt/README.md).
+    std::atomic<Lsn> rec_lsn{kInvalidLsn};
+    std::atomic<uint32_t> writer_partition{kNoWriterPartition};
     RwLatch latch;
   };
+
+  // Reset a frame's dirty-tracking metadata (after write-back or discard).
+  static void CleanFrame(Frame& f) {
+    f.dirty.store(false, std::memory_order_relaxed);
+    f.rec_lsn.store(kInvalidLsn, std::memory_order_relaxed);
+    f.writer_partition.store(kNoWriterPartition, std::memory_order_relaxed);
+  }
 
   // Find a free or evictable frame; returns false if every frame is pinned.
   // Called with map_lock_ held; may perform write-back I/O.
@@ -125,6 +191,7 @@ class BufferPool {
   size_t clock_hand_ = 0;
 
   std::function<void(Lsn)> wal_flush_;
+  std::function<uint32_t()> partition_of_thread_;
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};

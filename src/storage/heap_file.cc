@@ -80,7 +80,7 @@ Status HeapFile::Insert(std::string_view record, Rid* rid, Lsn lsn) {
     const Status s = page.Insert(record, &slot);
     if (s.ok()) {
       if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
-      guard.MarkDirty();
+      guard.MarkDirty(lsn);
       rid->page_id = pid;
       rid->slot = slot;
       record_count_.fetch_add(1, std::memory_order_relaxed);
@@ -99,7 +99,7 @@ Status HeapFile::InsertAt(const Rid& rid, std::string_view record, Lsn lsn) {
   SlottedPage page = guard.AsSlotted();
   DORADB_RETURN_NOT_OK(page.InsertAt(rid.slot, record));
   if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
-  guard.MarkDirty();
+  guard.MarkDirty(lsn);
   record_count_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
@@ -116,7 +116,7 @@ Status HeapFile::Delete(const Rid& rid, std::string* old_record, Lsn lsn) {
   }
   DORADB_RETURN_NOT_OK(page.Delete(rid.slot));
   if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
-  guard.MarkDirty();
+  guard.MarkDirty(lsn);
   record_count_.fetch_sub(1, std::memory_order_relaxed);
   {
     TatasGuard meta(meta_lock_, TimeClass::kBufferContention);
@@ -138,7 +138,7 @@ Status HeapFile::Update(const Rid& rid, std::string_view record,
   }
   DORADB_RETURN_NOT_OK(page.Update(rid.slot, record));
   if (lsn != kInvalidLsn && lsn > page.page_lsn()) page.set_page_lsn(lsn);
-  guard.MarkDirty();
+  guard.MarkDirty(lsn);
   return Status::OK();
 }
 
@@ -148,7 +148,7 @@ Status HeapFile::StampPageLsn(PageId pid, Lsn lsn) {
   guard.LatchExclusive();
   SlottedPage page = guard.AsSlotted();
   if (lsn > page.page_lsn()) page.set_page_lsn(lsn);
-  guard.MarkDirty();
+  guard.MarkDirty(lsn);
   return Status::OK();
 }
 

@@ -57,6 +57,21 @@ class Transaction {
   Lsn last_lsn() const { return last_lsn_; }
   void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
 
+  // Checkpoint pin: a lower bound on the LSN of every undoable (heap)
+  // record this transaction has logged or is about to log — set once,
+  // immediately before its first heap-op append, to the clock's value at
+  // that instant. The fuzzy checkpoint horizon must not pass the minimum
+  // pin over registered transactions, or truncation could drop records a
+  // restart undo still needs. Transactions that never touch a heap (the
+  // DORA system transaction holding table IX locks, pure readers) never
+  // pin, so they do not hold back truncation. kInvalidLsn = unset.
+  void PinUndoLow(Lsn lsn) {
+    Lsn expect = kInvalidLsn;
+    undo_low_.compare_exchange_strong(expect, lsn, std::memory_order_release,
+                                      std::memory_order_relaxed);
+  }
+  Lsn undo_low() const { return undo_low_.load(std::memory_order_acquire); }
+
   // ---- lock manager bookkeeping ----
   //
   // A DORA transaction's actions execute on several executor threads inside
@@ -155,6 +170,7 @@ class Transaction {
   const TxnId id_;
   TxnState state_ = TxnState::kActive;
   Lsn last_lsn_ = kInvalidLsn;
+  std::atomic<Lsn> undo_low_{kInvalidLsn};
 
   mutable TatasLock bk_lock_;  // serializes bookkeeping across executors
   std::deque<LockRequest> request_pool_;

@@ -6,14 +6,19 @@ std::unique_ptr<Transaction> TxnManager::Begin() {
   const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id);
   lm_->RegisterTxn(txn.get());
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    active_.insert(id);
-  }
+  // Log kBegin first, then register with its LSN: the checkpoint snapshot
+  // must never observe an active transaction without a begin LSN. The
+  // reverse race — kBegin logged, registration not yet visible — is
+  // harmless: the transaction has no other records yet, and a truncated
+  // kBegin only shortens a loser's undo chain walk past its first record.
   LogRecord rec;
   rec.type = LogType::kBegin;
   rec.txn = id;
   txn->ChainAppend(log_, &rec);
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    active_.emplace(id, txn.get());
+  }
   started_.fetch_add(1, std::memory_order_relaxed);
   return txn;
 }
@@ -26,7 +31,24 @@ void TxnManager::Finish(Transaction* txn) {
 
 std::vector<TxnId> TxnManager::ActiveTxns() const {
   std::lock_guard<std::mutex> g(mu_);
-  return std::vector<TxnId>(active_.begin(), active_.end());
+  std::vector<TxnId> out;
+  out.reserve(active_.size());
+  for (const auto& [id, txn] : active_) out.push_back(id);
+  return out;
+}
+
+std::vector<TxnId> TxnManager::ActiveTxnSnapshot(Lsn* min_undo_low) const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<TxnId> out;
+  out.reserve(active_.size());
+  Lsn min_pin = ~Lsn{0};
+  for (const auto& [id, txn] : active_) {
+    out.push_back(id);
+    const Lsn pin = txn->undo_low();
+    if (pin != kInvalidLsn && pin < min_pin) min_pin = pin;
+  }
+  *min_undo_low = min_pin;
+  return out;
 }
 
 size_t TxnManager::num_active() const {

@@ -8,7 +8,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "lock/lock_manager.h"
@@ -31,6 +31,17 @@ class TxnManager {
   std::vector<TxnId> ActiveTxns() const;
   size_t num_active() const;
 
+  // Fuzzy-checkpoint snapshot: the active ids plus the smallest undo-low
+  // pin among them (~0 if no active transaction has logged heap work). A
+  // transaction's pin lower-bounds every undoable record it ever logs, is
+  // set before its first heap-op append, and the transaction stays
+  // registered until its last heap apply (post-commit deletes included) —
+  // so no registered transaction can have un-applied or undo-needed log
+  // records below the returned minimum. Transactions that never log heap
+  // work (the DORA system transaction, pure readers) never pin, keeping
+  // long-lived lock holders from freezing truncation.
+  std::vector<TxnId> ActiveTxnSnapshot(Lsn* min_undo_low) const;
+
   uint64_t started() const { return started_.load(std::memory_order_relaxed); }
 
  private:
@@ -40,7 +51,9 @@ class TxnManager {
   std::atomic<uint64_t> started_{0};
 
   mutable std::mutex mu_;
-  std::unordered_set<TxnId> active_;
+  // Registered (active) transactions. Pointers stay valid: every path that
+  // ends a transaction calls Finish before the object can be destroyed.
+  std::unordered_map<TxnId, Transaction*> active_;
 };
 
 }  // namespace doradb

@@ -1,0 +1,46 @@
+// CRC32 (IEEE 802.3 polynomial, reflected) for log record checksums.
+//
+// Table-driven, no hardware dependency: the WAL must decode on any machine
+// that can read the log files, so the software fallback IS the format.
+
+#ifndef DORADB_UTIL_CRC32_H_
+#define DORADB_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace doradb {
+
+namespace detail {
+
+constexpr std::array<uint32_t, 256> MakeCrc32Table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32Table = MakeCrc32Table();
+
+}  // namespace detail
+
+// One-shot or incremental: pass the previous return value as `seed` to
+// extend a running checksum.
+inline uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (size_t i = 0; i < len; ++i) {
+    c = detail::kCrc32Table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+}  // namespace doradb
+
+#endif  // DORADB_UTIL_CRC32_H_

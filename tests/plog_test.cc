@@ -379,6 +379,153 @@ TEST(PlogPropertyTest, TornTailCrashRecoversCommittedPrefix) {
   }
 }
 
+// Crash-loop property under checkpoints + truncation: run rounds of
+// randomized ELR-style commits (commit record appended, locks released,
+// acknowledgement deferred to a simulated ack daemon that finalizes only
+// once the global horizon covers the commit GSN), interleaved with
+// partition-local fuzzy checkpoints that truncate the stable streams.
+// Each round ends in a crash with random per-partition flush progress and
+// mid-record tears. After every recovery:
+//  1. every acknowledged commit survives,
+//  2. every row holds a commit-logged value at least as recent as the
+//     row's last acknowledged writer (never garbage, never a lost-then-
+//     resurrected truncated value),
+// and the next round continues on the recovered state — so the committed
+// prefix must survive repeated crash/recover cycles across truncations.
+TEST(PlogPropertyTest, CheckpointedCrashLoopRecoversCommittedPrefix) {
+  constexpr uint32_t kPartitions = 4;
+  constexpr int kRows = 12;
+  constexpr int kTxnsPerRound = 40;
+  constexpr int kRounds = 3;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed * 0xA24BAED4963EE407ull);
+    // Manual flush control: the background flusher effectively never runs.
+    Database db(PlogDb(kPartitions, /*interval_us=*/1000000));
+    TableId table;
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+
+    std::vector<Rid> rids(kRows);
+    {
+      auto setup = db.Begin();
+      for (int r = 0; r < kRows; ++r) {
+        ASSERT_TRUE(db.Insert(setup.get(), table, "base", &rids[r],
+                              AccessOptions::Baseline()).ok());
+      }
+      ASSERT_TRUE(db.Commit(setup.get()).ok());
+    }
+
+    struct Write {
+      std::string value;
+      bool acked;
+    };
+    std::vector<std::vector<Write>> history(kRows, {{"base", true}});
+
+    // The ELR pipeline: commits appended but not yet acknowledged. The
+    // transactions stay registered (active) until finalized — exactly the
+    // discipline that makes truncation safe for maybe-lost commits.
+    struct Pending {
+      std::unique_ptr<Transaction> txn;
+      Lsn gsn;
+      std::vector<std::pair<int, size_t>> writes;  // (row, history index)
+    };
+    std::vector<Pending> pending;
+
+    // Simulated ack daemon: finalize every pending commit the global
+    // stable horizon already covers, acknowledging its writes.
+    auto drain_acks = [&] {
+      const Lsn horizon = db.log_manager()->flushed_lsn();
+      size_t n = 0;
+      while (n < pending.size() && pending[n].gsn <= horizon) {
+        ASSERT_TRUE(db.CommitFinalize(pending[n].txn.get()).ok());
+        for (const auto& [row, idx] : pending[n].writes) {
+          history[row][idx].acked = true;
+        }
+        ++n;
+      }
+      pending.erase(pending.begin(), pending.begin() + n);
+    };
+
+    for (int round = 0; round < kRounds; ++round) {
+      for (int t = 0; t < kTxnsPerRound; ++t) {
+        auto txn = db.Begin();
+        const int nops = static_cast<int>(rng.UniformInt(uint64_t{1}, 3));
+        std::vector<std::pair<int, size_t>> writes;
+        for (int i = 0; i < nops; ++i) {
+          const int row = static_cast<int>(
+              rng.UniformInt(uint64_t{0}, uint64_t{kRows - 1}));
+          db.log_manager()->BindThisThread(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1)));
+          const std::string value = "s" + std::to_string(seed) + "r" +
+                                    std::to_string(round) + "t" +
+                                    std::to_string(t) + "o" +
+                                    std::to_string(i);
+          ASSERT_TRUE(db.Update(txn.get(), table, rids[row], value,
+                                AccessOptions::Baseline()).ok());
+          history[row].push_back(Write{value, false});
+          writes.emplace_back(row, history[row].size() - 1);
+        }
+        const Lsn gsn = db.CommitAsync(txn.get());
+        db.lock_manager()->ReleaseAll(txn.get());  // ELR
+        pending.push_back(Pending{std::move(txn), gsn, std::move(writes)});
+
+        if (rng.Percent(50)) {
+          // A client that insists on its ack: group-commit wait.
+          db.log_manager()->WaitFlushed(gsn);
+        } else if (rng.Percent(40)) {
+          Plm(&db)->FlushPartition(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1)));
+        }
+        drain_acks();
+        if (rng.Percent(20)) {
+          // Fuzzy partition checkpoint + truncation, concurrent with the
+          // (un-acknowledged) pipeline above.
+          ASSERT_TRUE(db.CheckpointPartition(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1))).ok());
+        }
+      }
+
+      // Crash: random per-partition flush progress, possibly mid-record.
+      for (uint32_t p = 0; p < kPartitions; ++p) {
+        if (rng.Percent(60)) {
+          Plm(&db)->partition(p)->PartialFlushTorn(
+              rng.UniformInt(uint64_t{0}, uint64_t{4096}));
+        }
+      }
+      db.SimulateCrash();
+      // The crash killed the ack pipeline: un-finalized commits are gone.
+      for (auto& p : pending) db.txn_manager()->Finish(p.txn.get());
+      pending.clear();
+      ASSERT_TRUE(db.Recover(nullptr).ok());
+
+      for (int row = 0; row < kRows; ++row) {
+        std::string out;
+        ASSERT_TRUE(db.catalog()->Heap(table)->Get(rids[row], &out).ok());
+        const auto& h = history[row];
+        size_t last_acked = 0;
+        for (size_t i = 0; i < h.size(); ++i) {
+          if (h[i].acked) last_acked = i;
+        }
+        bool found = false;
+        for (size_t i = last_acked; i < h.size(); ++i) {
+          if (h[i].value == out) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found)
+            << "seed " << seed << " round " << round << " row " << row
+            << " holds '" << out << "', older than its last acked write '"
+            << h[last_acked].value << "'";
+        // The recovered value is the next round's acknowledged base.
+        history[row] = {{out, true}};
+      }
+    }
+    EXPECT_GT(db.log_manager()->reclaimed_bytes(), 0u)
+        << "seed " << seed
+        << ": checkpoints must actually have truncated the log";
+  }
+}
+
 // ----------------------------------- DORA pipelined commit + ELR
 
 TEST(PlogDoraTest, PipelinedCommitDurableAndRecoverable) {
