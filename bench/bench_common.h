@@ -15,12 +15,19 @@
 //   DORADB_LOG_PARTITIONS plog partition count       (default 4)
 //   DORADB_LOG_FLUSH_US   group-commit window in us  (default 50)
 //   DORADB_LOG_SYNC       1 = flush inline on every append (default 0)
+//
+// Durable-mode knobs (file-backed segment log + pages.db):
+//   DORADB_DATA_DIR       base directory; every rig gets a fresh private
+//                         subdirectory under it (empty = in-memory media)
+//   DORADB_LOG_SEGMENT_BYTES  segment roll target     (default 262144)
 
 #ifndef DORADB_BENCH_BENCH_COMMON_H_
 #define DORADB_BENCH_BENCH_COMMON_H_
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <vector>
@@ -74,6 +81,23 @@ inline std::vector<uint32_t> ClientLadder() {
   return out;
 }
 
+// Durable mode: DORADB_DATA_DIR makes every rig's WAL and page store
+// file-backed. Each call claims a fresh private subdirectory (wiped first)
+// so the several rigs a bench binary builds never adopt each other's
+// segments; reuse the returned Options verbatim to REOPEN that same rig's
+// directory in a second lifetime.
+inline std::string ClaimRigDataDir() {
+  const char* base = std::getenv("DORADB_DATA_DIR");
+  if (base == nullptr || base[0] == '\0') return "";
+  static std::atomic<uint64_t> next_rig{0};
+  const std::string dir =
+      std::string(base) + "/rig-" +
+      std::to_string(next_rig.fetch_add(1, std::memory_order_relaxed));
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
 inline Database::Options DbOptions() {
   Database::Options o;
   o.buffer_frames = 1 << 15;  // 256 MiB
@@ -82,6 +106,8 @@ inline Database::Options DbOptions() {
   o.log_backend = LogBackendFromEnv();
   o.log_partitions =
       static_cast<uint32_t>(EnvU64("DORADB_LOG_PARTITIONS", 4));
+  o.data_dir = ClaimRigDataDir();
+  o.log_segment_bytes = EnvU64("DORADB_LOG_SEGMENT_BYTES", 1 << 18);
   return o;
 }
 

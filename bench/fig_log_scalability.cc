@@ -14,6 +14,7 @@
 // cycles / committed txn.
 
 #include "bench_common.h"
+#include "util/sync_stats.h"
 
 using namespace doradb;
 using namespace doradb::bench;
@@ -29,6 +30,7 @@ struct Point {
 };
 
 Point RunPoint(LogBackendKind backend, uint32_t account_executors) {
+  DurabilityStats::Reset();
   Database::Options db_opts = DbOptions();
   db_opts.log_backend = backend;
   // One partition per executor: accounts get `account_executors`, the
@@ -73,11 +75,19 @@ void RunSweep(const char* name, LogBackendKind backend) {
   std::printf("\n--- %s ---\n", name);
   std::printf("%-12s %12s %12s %12s %18s %16s\n", "executors", "tps",
               "log_cont%", "log_work%", "cont_cycles/txn", "cont/txn/exec");
+  const bool file_backed = std::getenv("DORADB_DATA_DIR") != nullptr &&
+                           std::getenv("DORADB_DATA_DIR")[0] != '\0';
   for (uint32_t ae : {1u, 2u, 4u, 8u}) {
     const Point p = RunPoint(backend, ae);
     std::printf("%-12u %12.0f %12.2f %12.2f %18.0f %16.0f\n", p.executors,
                 p.tps, p.log_cont_pct, p.log_work_pct, p.cont_cycles_per_txn,
                 p.cont_cycles_per_txn / p.executors);
+    if (file_backed) {
+      // Per-stream durability cost of this point: group commit should
+      // amortize fsyncs far below the committed-txn count.
+      std::printf("  durability counters (per stream):\n%s",
+                  DurabilityStats::ToString().c_str());
+    }
   }
 }
 

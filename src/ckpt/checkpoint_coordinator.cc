@@ -11,7 +11,10 @@ CheckpointCoordinator::CheckpointCoordinator(BufferPool* pool,
                                              LogBackend* log,
                                              TxnManager* txns,
                                              Options options)
-    : pool_(pool), log_(log), txns_(txns), options_(options) {}
+    : pool_(pool), log_(log), txns_(txns), options_(options) {
+  size_at_last_visit_.resize(log_->num_partitions(), 0);
+  visits_.resize(log_->num_partitions(), 0);
+}
 
 CheckpointCoordinator::~CheckpointCoordinator() { Stop(); }
 
@@ -30,12 +33,38 @@ void CheckpointCoordinator::DaemonLoop() {
     NapMicros(options_.interval_us);
     if (stop_.load(std::memory_order_acquire)) return;
     if (options_.partition_local) {
-      const uint32_t p = cursor_++ % log_->num_partitions();
+      const uint32_t p = options_.adaptive
+                             ? PickPartition()
+                             : cursor_++ % log_->num_partitions();
       (void)DoCheckpoint(p, /*all_partitions=*/false);
     } else {
       (void)DoCheckpoint(kCheckpointAllPartitions, /*all_partitions=*/true);
     }
   }
+}
+
+uint32_t CheckpointCoordinator::PickPartition() {
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  const uint32_t n = log_->num_partitions();
+  // Hottest first: the partition whose stable log grew the most since its
+  // last visit has the most reclaimable history (and, file-backed, the
+  // most unlinkable segments). Scanning from the cursor breaks ties
+  // round-robin so equal growth still rotates fairly.
+  uint32_t best = cursor_ % n;
+  size_t best_growth = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t p = (cursor_ + i) % n;
+    const size_t size = log_->PartitionStableSize(p);
+    const size_t growth =
+        size > size_at_last_visit_[p] ? size - size_at_last_visit_[p] : 0;
+    if (growth > best_growth) {
+      best = p;
+      best_growth = growth;
+    }
+  }
+  if (best_growth == 0) best = cursor_ % n;  // idle system: round-robin
+  ++cursor_;
+  return best;
 }
 
 Status CheckpointCoordinator::CheckpointPartition(uint32_t partition) {
@@ -76,6 +105,10 @@ Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
   BufferPool::CheckpointScan scan;
   DORADB_RETURN_NOT_OK(
       pool_->FlushPartition(partition, all_partitions, &scan));
+  // File-backed page store: the horizon's claim is "reflected in the disk
+  // image", so the flushed pages must actually be on the medium before
+  // the checkpoint record (and any truncation) trusts them.
+  DORADB_RETURN_NOT_OK(pool_->SyncDisk());
 
   // (4) The redo horizon this checkpoint vouches for.
   const Lsn horizon =
@@ -110,7 +143,18 @@ Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
   checkpoints_.fetch_add(1, std::memory_order_relaxed);
   pages_flushed_.fetch_add(scan.pages_flushed, std::memory_order_relaxed);
   pages_skipped_.fetch_add(scan.pages_skipped, std::memory_order_relaxed);
+  if (!all_partitions && partition < visits_.size()) {
+    // Adaptive-cadence baseline: growth is measured from the post-visit
+    // (post-truncation) size.
+    ++visits_[partition];
+    size_at_last_visit_[partition] = log_->PartitionStableSize(partition);
+  }
   return Status::OK();
+}
+
+std::vector<uint64_t> CheckpointCoordinator::partition_visits() const {
+  std::lock_guard<std::mutex> g(ckpt_mu_);
+  return visits_;
 }
 
 CheckpointCoordinator::Stats CheckpointCoordinator::stats() const {

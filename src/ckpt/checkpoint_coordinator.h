@@ -41,6 +41,7 @@
 #include <atomic>
 #include <mutex>
 #include <thread>
+#include <vector>
 
 #include "log/log_backend.h"
 #include "storage/buffer_pool.h"
@@ -62,6 +63,11 @@ class CheckpointCoordinator {
     // false: every visit flushes the whole pool and writes one global
     // record — the pre-plog behaviour, kept for A/B benchmarking.
     bool partition_local = true;
+    // Adaptive cadence: weight the daemon's partition choice by stable-log
+    // growth since that partition's last visit, so hot partitions
+    // checkpoint (and, file-backed, unlink segments) more often. Falls
+    // back to round-robin when nothing grew. false: plain round-robin.
+    bool adaptive = true;
   };
 
   struct Stats {
@@ -101,7 +107,16 @@ class CheckpointCoordinator {
     return last_horizon_.load(std::memory_order_acquire);
   }
   Stats stats() const;
+  // Completed checkpoint visits per log partition (adaptive-cadence
+  // observability: hot partitions should show more visits).
+  std::vector<uint64_t> partition_visits() const;
   const Options& options() const { return options_; }
+
+  // The partition the adaptive daemon would visit next: the one whose
+  // stable log grew the most since its last visit, round-robin when
+  // nothing grew (Options::adaptive). Public for observability/tests;
+  // advances the round-robin cursor.
+  uint32_t PickPartition();
 
  private:
   void DaemonLoop();
@@ -112,7 +127,11 @@ class CheckpointCoordinator {
   TxnManager* const txns_;
   const Options options_;
 
-  std::mutex ckpt_mu_;  // serializes rounds (daemon + manual callers)
+  mutable std::mutex ckpt_mu_;  // serializes rounds (daemon + manual callers)
+  // Adaptive cadence bookkeeping, under ckpt_mu_: per-partition stable
+  // size at last visit, and completed visits.
+  std::vector<size_t> size_at_last_visit_;
+  std::vector<uint64_t> visits_;
   std::atomic<Lsn> last_horizon_{0};
   std::atomic<uint64_t> checkpoints_{0};
   std::atomic<uint64_t> pages_flushed_{0};

@@ -10,15 +10,20 @@ std::unique_ptr<LogBackend> MakeLogBackend(const Database::Options& options) {
     plog::PartitionedLogManager::Options po;
     po.num_partitions = options.log_partitions;
     po.log = options.log;
+    po.data_dir = options.data_dir;
+    po.segment_target_bytes = options.log_segment_bytes;
     return std::make_unique<plog::PartitionedLogManager>(po);
   }
-  return std::make_unique<LogManager>(options.log);
+  LogManager::Options lo = options.log;
+  lo.data_dir = options.data_dir;
+  lo.segment_target_bytes = options.log_segment_bytes;
+  return std::make_unique<LogManager>(lo);
 }
 }  // namespace
 
 Database::Database(Options options)
     : options_(options),
-      disk_(std::make_unique<DiskManager>()),
+      disk_(std::make_unique<DiskManager>(options.data_dir)),
       pool_(std::make_unique<BufferPool>(disk_.get(), options.buffer_frames)),
       catalog_(std::make_unique<Catalog>(pool_.get())),
       lock_(std::make_unique<LockManager>(options.lock)),
@@ -26,6 +31,15 @@ Database::Database(Options options)
       txns_(std::make_unique<TxnManager>(lock_.get(), log_.get())),
       ckpt_(std::make_unique<ckpt::CheckpointCoordinator>(
           pool_.get(), log_.get(), txns_.get(), options.checkpoint)) {
+  // Reopen ordering hazard: recovered log records can reference pages the
+  // dead lifetime allocated but never flushed (they sit beyond pages.db
+  // EOF). Raise the allocator past every such id NOW — before application
+  // code runs — or schema setup (eager B+Tree roots) would be handed a
+  // logged page id and redo would clobber it.
+  const PageId recovered_pid = log_->recovered_max_page_id();
+  if (recovered_pid != kInvalidPageId) {
+    disk_->EnsureAllocatedThrough(recovered_pid + 1);
+  }
   pool_->SetWalFlushCallback([this](Lsn lsn) {
     // WAL rule: the covering (partition) flush horizon must pass the page
     // LSN before the dirty page may be stolen.
@@ -35,7 +49,15 @@ Database::Database(Options options)
   // belongs to the writer's bound log partition.
   pool_->SetPartitionResolver(
       [this] { return log_->CurrentPartition(); });
-  if (options_.checkpoint.enabled) ckpt_->Start();
+  // A reopened durable database (data_dir with recovered log content) is
+  // checkpoint-quiescent until Recover() runs: the daemon's horizon over a
+  // cold empty pool would cover — and truncate — committed records whose
+  // only copy is the log recovery has not replayed yet. Recover() starts
+  // the daemon once the replay is done.
+  if (options_.checkpoint.enabled &&
+      (options_.data_dir.empty() || log_->stable_size() == 0)) {
+    ckpt_->Start();
+  }
 }
 
 Database::~Database() {
@@ -48,6 +70,7 @@ Database::~Database() {
   // crash.
   ckpt_->Stop();
   (void)pool_->FlushAll();
+  (void)disk_->Sync();  // clean shutdown: flushed pages reach the medium
   pool_->SetWalFlushCallback(nullptr);
 }
 
@@ -286,6 +309,12 @@ Status Database::CheckpointPartition(uint32_t partition) {
 void Database::SimulateCrash() {
   ckpt_->Stop();  // the daemon does not survive the process
   log_->DiscardVolatileTail();
+  pool_->DiscardAll();
+}
+
+void Database::SimulateKill() {
+  ckpt_->Stop();
+  log_->SimulateKill();
   pool_->DiscardAll();
 }
 

@@ -68,6 +68,16 @@ class Database {
     // truncation (src/ckpt/). Off by default; manual Checkpoint calls
     // work regardless.
     ckpt::CheckpointCoordinator::Options checkpoint;
+    // Non-empty: durable mode. The WAL's stable streams live in segment
+    // files under this directory (log/segment_file.h) and the page store
+    // becomes `<data_dir>/pages.db`. Constructing a Database over a
+    // directory a previous lifetime wrote is the reopen path: the log
+    // backends adopt the existing segments (cold start) and Recover()
+    // rebuilds committed state from disk alone. Empty (default): both
+    // media are in-memory vectors, the seed behaviour.
+    std::string data_dir;
+    // Segment roll target for the file-backed log streams.
+    size_t log_segment_bytes = 1 << 20;
   };
 
   explicit Database(Options options);
@@ -143,6 +153,13 @@ class Database {
   // In-flight transactions are forgotten (they become recovery losers);
   // the checkpoint daemon dies with the process (Recover restarts it).
   void SimulateCrash();
+
+  // Kill simulation (durable mode): like SimulateCrash but without the
+  // restart-style stable-log truncation — segment files keep their torn
+  // tails and stale watermark headers, exactly as a killed process leaves
+  // them. Pair with destroying this Database and reopening a new one over
+  // the same data_dir to exercise the cold-start recovery path.
+  void SimulateKill();
 
   // ARIES restart: analysis over the stable log, redo of winners' history,
   // undo of losers with CLRs. Heap page lists are rediscovered from the

@@ -52,6 +52,12 @@ class LogBackend {
   // Crash simulation: drop all unflushed bytes.
   virtual void DiscardVolatileTail() = 0;
 
+  // Kill simulation: like a crash, but without the restart-style stable
+  // truncation DiscardVolatileTail performs — the stable medium is left
+  // exactly as the dead process would leave it (torn tails and all), for
+  // tests that reopen a file-backed log in a second lifetime.
+  virtual void SimulateKill() { DiscardVolatileTail(); }
+
   // Recovery: decode the stable region as one LSN-ordered stream
   // (tolerates torn tails; a partitioned backend merges its streams and
   // truncates to the consistent recovery horizon).
@@ -73,6 +79,20 @@ class LogBackend {
   virtual uint64_t appends() const = 0;
   virtual uint64_t flushes() const = 0;
   virtual size_t stable_size() const = 0;
+  // One partition's stable bytes (the whole stream for single-stream
+  // backends) — the checkpoint coordinator weights its visit cadence by
+  // per-partition growth of this value.
+  virtual size_t PartitionStableSize(uint32_t partition) const {
+    (void)partition;
+    return stable_size();
+  }
+  // Segment files currently backing the stable region (0 when in-memory).
+  virtual size_t segment_files() const { return 0; }
+  // Highest page id referenced by any record recovered at cold start
+  // (kInvalidPageId when none / in-memory). A reopened Database raises
+  // the page allocator past it before application code (eager index
+  // roots) can allocate, or redo would clobber the reused page.
+  virtual PageId recovered_max_page_id() const { return kInvalidPageId; }
   // Total bytes dropped by ReclaimStableBelow over this backend's life.
   virtual uint64_t reclaimed_bytes() const { return 0; }
 

@@ -1,12 +1,32 @@
 #include "log/log_manager.h"
 
+#include <algorithm>
+
+#include "log/segment_file.h"
 #include "util/clock.h"
 
 namespace doradb {
 
 LogManager::LogManager(Options options) : options_(options) {
   buffer_.reserve(1 << 20);
-  stable_.reserve(1 << 22);
+  if (options_.data_dir.empty()) {
+    stable_ = std::make_unique<MemoryLogStorage>();
+  } else {
+    SegmentFileStorage::Options so;
+    so.target_segment_bytes = options_.segment_target_bytes;
+    stable_ = std::make_unique<SegmentFileStorage>(
+        options_.data_dir + "/central", 0, so);
+    // Cold start: resume LSN allocation past everything a previous
+    // lifetime made durable. Central LSNs are byte offsets, so the stream
+    // ends at the last record's start plus its encoded size — found by
+    // the storage's open scan.
+    const Lsn end = std::max(stable_->recovered_watermark(),
+                             stable_->recovered_stream_end());
+    if (end > 1) {
+      next_lsn_.store(end, std::memory_order_relaxed);
+      flushed_lsn_.store(end, std::memory_order_relaxed);
+    }
+  }
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
 
@@ -57,8 +77,14 @@ Lsn LogManager::DoFlush() {
     upto = next_lsn_.load(std::memory_order_relaxed);
   }
   if (!pending.empty()) {
-    stable_.insert(stable_.end(), pending.begin(), pending.end());
+    // `upto` upper-bounds every record LSN in the batch — conservative
+    // for segment unlinking, exact for the flush horizon.
+    stable_->AppendBatch(pending.data(), pending.size(), upto);
     flushes_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (upto > flushed_lsn_.load(std::memory_order_relaxed)) {
+    // Durability before advertisement: commits gate on flushed_lsn.
+    stable_->Sync(upto);
   }
   flushed_lsn_.store(upto, std::memory_order_release);
   return upto;
@@ -83,29 +109,29 @@ void LogManager::DiscardVolatileTail() {
 
 std::vector<LogRecord> LogManager::ReadStable() const {
   std::lock_guard<std::mutex> g(stable_mu_);
-  std::vector<LogRecord> out;
-  size_t off = 0;
-  LogRecord rec;
-  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
-    out.push_back(rec);
-  }
-  return out;
+  return stable_->Decode(nullptr);
 }
 
 void LogManager::ReclaimStableBelow(Lsn point) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  reclaimed_.fetch_add(ReclaimLogPrefixBelow(&stable_, point),
+  reclaimed_.fetch_add(stable_->ReclaimBelow(point),
                        std::memory_order_relaxed);
 }
 
 void LogManager::FlipStableByte(size_t index) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  if (index < stable_.size()) stable_[index] ^= 0xFF;
+  stable_->FlipByte(index);
 }
 
 size_t LogManager::stable_size() const {
   std::lock_guard<std::mutex> g(stable_mu_);
-  return stable_.size();
+  return stable_->size();
+}
+
+size_t LogManager::segment_files() const {
+  if (options_.data_dir.empty()) return 0;
+  std::lock_guard<std::mutex> g(stable_mu_);
+  return stable_->segment_count();
 }
 
 }  // namespace doradb

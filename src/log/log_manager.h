@@ -17,12 +17,14 @@
 
 #include <atomic>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "log/log_backend.h"
 #include "log/log_record.h"
+#include "log/log_storage.h"
 #include "util/spinlock.h"
 #include "util/status.h"
 
@@ -33,6 +35,12 @@ class LogManager final : public LogBackend {
   struct Options {
     uint64_t flush_interval_us = 50;  // group-commit window
     bool synchronous = false;         // flush inline on every append (tests)
+    // Non-empty: back the stable region with segment files under
+    // `<data_dir>/central` (log/segment_file.h); existing segments are
+    // adopted at construction and LSN allocation resumes past them. The
+    // partitioned backend ignores this field (it has its own data_dir).
+    std::string data_dir;
+    size_t segment_target_bytes = 1 << 20;
   };
 
   explicit LogManager(Options options);
@@ -83,6 +91,10 @@ class LogManager final : public LogBackend {
     return flushes_.load(std::memory_order_relaxed);
   }
   size_t stable_size() const override;
+  size_t segment_files() const override;
+  PageId recovered_max_page_id() const override {
+    return stable_->recovered_max_page_id();
+  }
 
  private:
   void FlusherLoop();
@@ -97,7 +109,9 @@ class LogManager final : public LogBackend {
   std::atomic<Lsn> flushed_lsn_{1};
 
   mutable std::mutex stable_mu_;
-  std::vector<uint8_t> stable_;     // the "disk" image of the log
+  // The durability medium: in-memory bytes, or segment files when
+  // Options::data_dir is set (see log/log_storage.h).
+  std::unique_ptr<LogStorage> stable_;
 
   std::atomic<bool> stop_{false};
   std::thread flusher_;

@@ -116,6 +116,37 @@ bool LogRecord::DeserializeFrom(const std::vector<uint8_t>& data,
   return true;
 }
 
+size_t DecodeRecordStream(const std::vector<uint8_t>& data,
+                          const std::string& medium,
+                          std::vector<LogRecord>* out, Status* tail) {
+  size_t off = 0;
+  LogRecord rec;
+  while (LogRecord::DeserializeFrom(data, &off, &rec)) {
+    out->push_back(std::move(rec));
+    rec = LogRecord();
+  }
+  if (tail != nullptr) {
+    if (off == data.size()) {
+      *tail = Status::OK();
+    } else {
+      // Distinguish a record that runs past the end of the medium (a torn
+      // partial write) from one whose bytes are all present but fail the
+      // checksum (media corruption): the former is expected at a crash,
+      // the latter never is.
+      uint32_t total = 0;
+      const bool have_len = off + sizeof(total) <= data.size();
+      if (have_len) std::memcpy(&total, data.data() + off, sizeof(total));
+      const bool torn = !have_len || total < 2 * sizeof(uint32_t) ||
+                        off + total > data.size();
+      *tail = Status::Corruption(
+          std::string(torn ? "torn record in " : "corrupt record (checksum "
+                                                 "mismatch) in ") +
+          medium + " at offset " + std::to_string(off));
+    }
+  }
+  return off;
+}
+
 size_t ReclaimLogPrefixBelow(std::vector<uint8_t>* stable, Lsn point) {
   size_t drop = 0, off = 0;
   LogRecord rec;

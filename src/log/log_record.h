@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "storage/types.h"
+#include "util/status.h"
 
 namespace doradb {
 
@@ -67,6 +68,17 @@ struct LogRecord {
 
   std::string ToString() const;
 };
+
+// Decode a whole serialized record stream, appending records to *out in
+// stream order. Stops at the first undecodable record and returns its byte
+// offset (== data.size() when the stream is clean). If `tail` is non-null
+// it is left OK for a clean stream and otherwise set to a Corruption
+// status naming `medium` (segment file path or "<memory>"), the offset,
+// and whether the record was torn (ran past the end of the medium) or
+// failed its checksum — so a restart error points at the exact bad spot.
+size_t DecodeRecordStream(const std::vector<uint8_t>& data,
+                          const std::string& medium,
+                          std::vector<LogRecord>* out, Status* tail);
 
 // Drop the byte prefix of an LSN-ordered serialized record stream holding
 // every whole record with lsn < point (survivors are a byte suffix).

@@ -1,0 +1,132 @@
+// LogStorage: the durability medium under a WAL stable region.
+//
+// Both WAL backends (the central LogManager and each plog LogPartition)
+// keep a volatile append buffer and a "stable" stream of whole records.
+// This interface is the stable stream's medium: an in-memory byte vector
+// (the seed behaviour — Database::Options::data_dir empty) or a directory
+// of segment files (src/log/segment_file.h) whose appends survive process
+// death.
+//
+// Contract shared by both implementations:
+//  * AppendBatch bytes are whole records in LSN order; a batch never needs
+//    to be split across segments, so records never straddle a segment
+//    boundary.
+//  * Sync(w) makes every appended byte durable and persists `w` as the
+//    stream's durability claim ("every record this stream's owner hosts
+//    with LSN <= w is here"). Callers advance their in-memory watermark —
+//    the value commit acknowledgements gate on — only after Sync returns,
+//    which is what makes an acked commit durable across process lifetimes.
+//  * Decode tolerates a torn tail (partial last write) and a corrupted
+//    middle (per-record CRC), reporting the exact medium location of the
+//    first bad record through its Status.
+//  * ReclaimBelow(point) may keep records below the point: the file
+//    implementation drops whole sealed segments only. Survivors below a
+//    checkpoint horizon are redo-skipped by recovery, never harmful.
+//
+// Thread safety: none. The owning backend serializes every call under its
+// stable-region mutex.
+
+#ifndef DORADB_LOG_LOG_STORAGE_H_
+#define DORADB_LOG_LOG_STORAGE_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "log/log_record.h"
+#include "util/status.h"
+
+namespace doradb {
+
+class LogStorage {
+ public:
+  virtual ~LogStorage() = default;
+
+  // Append `n` bytes of whole records whose highest LSN is `last_lsn`
+  // (pass kInvalidLsn when unknown — e.g. a deliberately torn test write —
+  // which pins the receiving segment against unlinking).
+  virtual void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) = 0;
+
+  // Durability point: fsync appended bytes and persist `watermark` as the
+  // stream's claim. No-op for memory.
+  virtual void Sync(Lsn watermark) = 0;
+
+  // The claim persisted by the last Sync of a previous lifetime (0 when
+  // the medium is fresh or volatile).
+  virtual Lsn recovered_watermark() const { return 0; }
+  // Cold-start scan results, so callers need not re-Decode the stream:
+  // the last decodable record's LSN, and the stream end (that LSN plus
+  // the record's encoded size — the central backend's resume offset).
+  virtual Lsn recovered_last_lsn() const { return 0; }
+  virtual Lsn recovered_stream_end() const { return 0; }
+  // Highest page id any recovered record references (kInvalidPageId when
+  // none): a reopened Database raises the page allocator past it BEFORE
+  // application code can allocate, or a pre-recovery allocation (e.g. an
+  // eager B+Tree root) would reuse a logged page id and redo would then
+  // clobber the new page.
+  virtual PageId recovered_max_page_id() const { return kInvalidPageId; }
+
+  // Decode the whole stream in order; see DecodeRecordStream for `tail`.
+  virtual std::vector<LogRecord> Decode(Status* tail) const = 0;
+
+  // Reclaim storage for records with lsn < point; returns bytes dropped.
+  virtual uint64_t ReclaimBelow(Lsn point) = 0;
+
+  // Drop every record with lsn > horizon, plus any torn tail bytes.
+  virtual void TruncateTo(Lsn horizon) = 0;
+
+  virtual size_t size() const = 0;
+  virtual size_t segment_count() const { return 1; }
+
+  // Crash/corruption simulation hooks (tests).
+  virtual void TearTail(size_t bytes) = 0;
+  virtual void FlipByte(size_t index) = 0;
+};
+
+// The seed medium: one in-memory byte vector. Dies with the process.
+class MemoryLogStorage final : public LogStorage {
+ public:
+  void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override {
+    (void)last_lsn;
+    stable_.insert(stable_.end(), data, data + n);
+  }
+
+  void Sync(Lsn watermark) override { (void)watermark; }
+
+  std::vector<LogRecord> Decode(Status* tail) const override {
+    std::vector<LogRecord> out;
+    DecodeRecordStream(stable_, "<memory>", &out, tail);
+    return out;
+  }
+
+  uint64_t ReclaimBelow(Lsn point) override {
+    return ReclaimLogPrefixBelow(&stable_, point);
+  }
+
+  void TruncateTo(Lsn horizon) override {
+    size_t keep = 0, off = 0;
+    LogRecord rec;
+    // The stream is LSN-ordered, so the survivors are a byte prefix.
+    while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
+      if (rec.lsn > horizon) break;
+      keep = off;
+    }
+    stable_.resize(keep);
+  }
+
+  size_t size() const override { return stable_.size(); }
+
+  void TearTail(size_t bytes) override {
+    stable_.resize(stable_.size() - std::min(bytes, stable_.size()));
+  }
+
+  void FlipByte(size_t index) override {
+    if (index < stable_.size()) stable_[index] ^= 0xFF;
+  }
+
+ private:
+  std::vector<uint8_t> stable_;
+};
+
+}  // namespace doradb
+
+#endif  // DORADB_LOG_LOG_STORAGE_H_

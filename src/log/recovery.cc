@@ -18,6 +18,16 @@ Status Database::Recover(
 Status RecoveryDriver::Run(
     const std::function<Status(Database*)>& rebuild_indexes) {
   DORADB_RETURN_NOT_OK(Analysis());
+  // Cold-start id resume: no future transaction may be issued an id that
+  // still has records in the recovered log — an uncommitted reuse would
+  // inherit the old id's surviving kCommit and replay as a winner. (Page
+  // ids got the equivalent treatment in the Database constructor, before
+  // schema setup could allocate.)
+  TxnId max_txn = kInvalidTxnId;
+  for (const auto& [txn, lsn] : last_lsn_) max_txn = std::max(max_txn, txn);
+  if (max_txn != kInvalidTxnId) {
+    db_->txn_manager()->AdvanceTxnIdPast(max_txn);
+  }
   DORADB_RETURN_NOT_OK(RebuildHeapDirectory());
   DORADB_RETURN_NOT_OK(Redo());
   DORADB_RETURN_NOT_OK(UndoLosers());

@@ -40,6 +40,17 @@ class GsnClock {
     return next_.load(std::memory_order_acquire) - 1;
   }
 
+  // Cold-start: ensure every future GSN exceeds `gsn` (the highest value
+  // recovered from any partition's segment files or watermark header).
+  // Called before any appends, so a plain CAS loop suffices.
+  void AdvanceTo(Lsn gsn) {
+    Lsn cur = next_.load(std::memory_order_relaxed);
+    while (gsn + 1 > cur &&
+           !next_.compare_exchange_weak(cur, gsn + 1,
+                                        std::memory_order_acq_rel)) {
+    }
+  }
+
  private:
   std::atomic<Lsn> next_{1};
 };

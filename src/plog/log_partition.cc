@@ -15,6 +15,7 @@ Lsn LogPartition::Append(LogRecord* rec) {
     gsn = clock_->Next();
     rec->lsn = gsn;
     rec->SerializeTo(&buffer_);
+    buffer_last_gsn_ = gsn;
   }
   appends_.fetch_add(1, std::memory_order_relaxed);
   return gsn;
@@ -22,23 +23,44 @@ Lsn LogPartition::Append(LogRecord* rec) {
 
 void LogPartition::Flush() {
   std::lock_guard<std::mutex> g(stable_mu_);
+  if (killed_) return;
   std::vector<uint8_t> pending;
-  Lsn horizon;
+  Lsn horizon, batch_gsn;
   {
     TatasGuard b(buffer_latch_, TimeClass::kLogContention);
     pending.swap(buffer_);
+    batch_gsn = buffer_last_gsn_;
     // Buffer is empty and the latch blocks new stamps: every future record
     // of this partition gets a GSN > horizon.
     horizon = clock_->last_issued();
   }
   if (!pending.empty()) {
     ScopedTimeClass timer(TimeClass::kLogWork);
-    stable_.insert(stable_.end(), pending.begin(), pending.end());
+    stable_->AppendBatch(pending.data(), pending.size(), batch_gsn);
     flushes_.fetch_add(1, std::memory_order_relaxed);
   }
   if (horizon > watermark_.load(std::memory_order_relaxed)) {
+    // Durability before advertisement: commit acks gate on the watermark,
+    // so it must be persisted (data + claim, one fsync) before it moves.
+    ScopedTimeClass timer(TimeClass::kLogWork);
+    stable_->Sync(horizon);
     watermark_.store(horizon, std::memory_order_release);
   }
+}
+
+Lsn LogPartition::RecoverFromStorage() {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  // Two independently valid claims, both found by the storage's open
+  // scan: the persisted watermark (covers idle stretches — the partition
+  // hosted nothing above the last record when it was written) and the
+  // last decodable GSN (the stable stream is a prefix of the append
+  // stream, so everything hosted at or below it is present).
+  const Lsn claim = std::max(stable_->recovered_watermark(),
+                             stable_->recovered_last_lsn());
+  if (claim > watermark_.load(std::memory_order_relaxed)) {
+    watermark_.store(claim, std::memory_order_release);
+  }
+  return claim;
 }
 
 Lsn LogPartition::DiscardVolatileAndClaim() {
@@ -46,11 +68,10 @@ Lsn LogPartition::DiscardVolatileAndClaim() {
   TatasGuard b(buffer_latch_, TimeClass::kLogContention);
   const bool lost_buffered = !buffer_.empty();
   buffer_.clear();
-  size_t off = 0;
-  LogRecord rec;
-  Lsn last = 0;
-  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) last = rec.lsn;
-  const bool torn = off != stable_.size();
+  Status tail;
+  std::vector<LogRecord> recs = stable_->Decode(&tail);
+  const Lsn last = recs.empty() ? 0 : recs.back().lsn;
+  const bool torn = !tail.ok();
   if (lost_buffered || torn) {
     // Losses are a suffix of the stream and every lost GSN exceeds the
     // watermark, so the partition still vouches for the larger of the two.
@@ -61,60 +82,60 @@ Lsn LogPartition::DiscardVolatileAndClaim() {
   return clock_->last_issued();
 }
 
+void LogPartition::Kill() {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+  buffer_.clear();
+  killed_ = true;
+}
+
 void LogPartition::TruncateStableTo(Lsn horizon) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  size_t keep = 0, off = 0;
-  LogRecord rec;
-  // The stream is GSN-ordered, so the survivors are a byte prefix.
-  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
-    if (rec.lsn > horizon) break;
-    keep = off;
-  }
-  stable_.resize(keep);
+  stable_->TruncateTo(horizon);
   if (horizon > watermark_.load(std::memory_order_relaxed)) {
     watermark_.store(horizon, std::memory_order_release);
   }
 }
 
-std::vector<LogRecord> LogPartition::ReadStable(bool* clean) const {
+std::vector<LogRecord> LogPartition::ReadStable(Status* tail) const {
   std::lock_guard<std::mutex> g(stable_mu_);
-  std::vector<LogRecord> out;
-  size_t off = 0;
-  LogRecord rec;
-  while (LogRecord::DeserializeFrom(stable_, &off, &rec)) {
-    out.push_back(rec);
-  }
-  if (clean != nullptr) *clean = (off == stable_.size());
-  return out;
+  return stable_->Decode(tail);
 }
 
 void LogPartition::ReclaimStableBelow(Lsn point) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  reclaimed_.fetch_add(ReclaimLogPrefixBelow(&stable_, point),
+  reclaimed_.fetch_add(stable_->ReclaimBelow(point),
                        std::memory_order_relaxed);
 }
 
 void LogPartition::FlipStableByte(size_t index) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  if (index < stable_.size()) stable_[index] ^= 0xFF;
+  stable_->FlipByte(index);
 }
 
 void LogPartition::PartialFlushTorn(size_t bytes) {
   std::lock_guard<std::mutex> g(stable_mu_);
   TatasGuard b(buffer_latch_, TimeClass::kLogContention);
   bytes = std::min(bytes, buffer_.size());
-  stable_.insert(stable_.end(), buffer_.begin(), buffer_.begin() + bytes);
+  // kInvalidLsn batch GSN: the receiving segment may hold a torn record,
+  // so it must never be unlinked on the strength of a known max GSN.
+  stable_->AppendBatch(buffer_.data(), bytes, kInvalidLsn);
   buffer_.clear();
 }
 
 void LogPartition::TearStableTail(size_t bytes) {
   std::lock_guard<std::mutex> g(stable_mu_);
-  stable_.resize(stable_.size() - std::min(bytes, stable_.size()));
+  stable_->TearTail(bytes);
 }
 
 size_t LogPartition::stable_size() const {
   std::lock_guard<std::mutex> g(stable_mu_);
-  return stable_.size();
+  return stable_->size();
+}
+
+size_t LogPartition::segment_count() const {
+  std::lock_guard<std::mutex> g(stable_mu_);
+  return stable_->segment_count();
 }
 
 }  // namespace plog

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "log/segment_file.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
 
@@ -49,7 +50,38 @@ PartitionedLogManager::PartitionedLogManager(Options options)
   const uint32_t n = std::max<uint32_t>(1, options_.num_partitions);
   partitions_.reserve(n);
   for (uint32_t i = 0; i < n; ++i) {
-    partitions_.push_back(std::make_unique<LogPartition>(&clock_));
+    std::unique_ptr<LogStorage> storage;
+    if (!options_.data_dir.empty()) {
+      SegmentFileStorage::Options so;
+      so.target_segment_bytes = options_.segment_target_bytes;
+      storage = std::make_unique<SegmentFileStorage>(
+          options_.data_dir + "/plog-" + std::to_string(i), i, so);
+    }
+    partitions_.push_back(
+        std::make_unique<LogPartition>(&clock_, std::move(storage)));
+  }
+  if (!options_.data_dir.empty()) {
+    // Cold start: every partition derives its durability claim from its
+    // segment files, and the shared clock resumes past the highest one so
+    // no GSN is ever reissued across lifetimes.
+    Lsn max_claim = 0;
+    Lsn horizon = ~Lsn{0};
+    for (auto& p : partitions_) {
+      const Lsn claim = p->RecoverFromStorage();
+      max_claim = std::max(max_claim, claim);
+      horizon = std::min(horizon, claim);
+    }
+    // A kill can leave the streams mutually inconsistent — one partition
+    // flushed ahead of another's lost tail. Do on disk what
+    // DiscardVolatileTail does at an in-process crash: truncate every
+    // stream to the merged horizon. Left in place, a suprahorizon record
+    // would merely be hidden by this recovery's merge, then resurrected
+    // by a later lifetime whose horizon has moved past it — undoing an
+    // old before-image over newer committed data.
+    for (auto& p : partitions_) {
+      if (p->recovered_last_gsn() > horizon) p->TruncateStableTo(horizon);
+    }
+    clock_.AdvanceTo(max_claim);
   }
   // One flusher per partition on hardware that can host them; on smaller
   // machines each flusher thread sweeps a slice of partitions so the
@@ -148,6 +180,13 @@ void PartitionedLogManager::DiscardVolatileTail() {
   for (auto& p : partitions_) p->TruncateStableTo(horizon);
 }
 
+void PartitionedLogManager::SimulateKill() {
+  // The process dies mid-flight: buffers vanish, the stable media keep
+  // whatever bytes (and stale watermark headers) they happened to hold.
+  // No truncation — a second lifetime's cold start must cope with it.
+  for (auto& p : partitions_) p->Kill();
+}
+
 std::vector<LogRecord> PartitionedLogManager::ReadStable() const {
   // Per-partition decode with torn-tail tolerance, then horizon merge.
   std::vector<std::vector<LogRecord>> streams;
@@ -220,6 +259,23 @@ size_t PartitionedLogManager::stable_size() const {
   size_t n = 0;
   for (const auto& p : partitions_) n += p->stable_size();
   return n;
+}
+
+size_t PartitionedLogManager::segment_files() const {
+  if (options_.data_dir.empty()) return 0;
+  size_t n = 0;
+  for (const auto& p : partitions_) n += p->segment_count();
+  return n;
+}
+
+PageId PartitionedLogManager::recovered_max_page_id() const {
+  PageId max_pid = kInvalidPageId;
+  for (const auto& p : partitions_) {
+    const PageId pid = p->recovered_max_page_id();
+    if (pid == kInvalidPageId) continue;
+    if (max_pid == kInvalidPageId || pid > max_pid) max_pid = pid;
+  }
+  return max_pid;
 }
 
 }  // namespace plog

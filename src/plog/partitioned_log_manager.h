@@ -50,6 +50,12 @@ class PartitionedLogManager final : public LogBackend {
     // Flush cadence / synchronous mode, shared with the central backend so
     // benchmarks can A/B them under identical settings.
     LogManager::Options log;
+    // Non-empty: back each partition's stable stream with segment files
+    // under `<data_dir>/plog-<i>` (see log/segment_file.h). Existing
+    // segments are adopted at construction — the cold-start path — and the
+    // GSN clock resumes past the highest recovered claim.
+    std::string data_dir;
+    size_t segment_target_bytes = 1 << 20;
   };
 
   explicit PartitionedLogManager(Options options);
@@ -66,6 +72,7 @@ class PartitionedLogManager final : public LogBackend {
   Lsn current_lsn() const override { return clock_.last_issued(); }
 
   void DiscardVolatileTail() override;
+  void SimulateKill() override;
   std::vector<LogRecord> ReadStable() const override;
 
   void ReclaimStableBelow(Lsn point) override;
@@ -75,6 +82,11 @@ class PartitionedLogManager final : public LogBackend {
   uint64_t appends() const override;
   uint64_t flushes() const override;
   size_t stable_size() const override;
+  size_t PartitionStableSize(uint32_t partition) const override {
+    return partitions_[partition % partitions_.size()]->stable_size();
+  }
+  size_t segment_files() const override;
+  PageId recovered_max_page_id() const override;
 
   void BindThisThread(uint32_t hint) override;
   uint32_t CurrentPartition() const override;

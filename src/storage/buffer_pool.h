@@ -119,6 +119,11 @@ class BufferPool {
   Status FlushPage(PageId page_id);
   Status FlushAll();
 
+  // Durability point for previously flushed pages (no-op when the page
+  // store is in-memory). A checkpoint's redo horizon is only valid once
+  // the pages it vouches for are actually on the medium.
+  Status SyncDisk() { return disk_->Sync(); }
+
   // Fuzzy checkpoint flush: write back dirty pages attributed to
   // `partition` (all logged-writer pages when `all_partitions`), without
   // quiescing writers — each page is copied under its frame read latch, so

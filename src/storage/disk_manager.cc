@@ -1,13 +1,52 @@
 #include "storage/disk_manager.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 
 #include "util/clock.h"
+#include "util/sync_stats.h"
 
 namespace doradb {
 
 DiskManager::DiskManager(uint64_t simulated_latency_ns)
     : simulated_latency_ns_(simulated_latency_ns) {}
+
+DiskManager::DiskManager(const std::string& data_dir,
+                         uint64_t simulated_latency_ns)
+    : simulated_latency_ns_(simulated_latency_ns) {
+  if (data_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(data_dir, ec);
+  path_ = data_dir + "/pages.db";
+  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd_ < 0) {
+    // Fail fast, like the WAL's segment layer: durable mode was requested,
+    // and silently degrading to memory pages while checkpoints keep
+    // truncating the file-backed log would lose committed data without a
+    // single error surfacing.
+    std::fprintf(stderr, "disk_manager: open failed for %s: %s\n",
+                 path_.c_str(), std::strerror(errno));
+    std::abort();
+  }
+  const off_t size = ::lseek(fd_, 0, SEEK_END);
+  if (size > 0) {
+    next_page_id_ = static_cast<PageId>(
+        (static_cast<uint64_t>(size) + kPageSize - 1) / kPageSize);
+  }
+}
+
+DiskManager::~DiskManager() {
+  if (fd_ >= 0) {
+    ::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
 
 PageId DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> g(mu_);
@@ -18,10 +57,12 @@ PageId DiskManager::AllocatePage() {
     return id;
   }
   const PageId id = next_page_id_++;
-  const size_t extent = id / kPagesPerExtent;
-  if (extent >= extents_.size()) {
-    extents_.push_back(
-        std::make_unique<uint8_t[]>(kPagesPerExtent * kPageSize));
+  if (fd_ < 0) {
+    const size_t extent = id / kPagesPerExtent;
+    if (extent >= extents_.size()) {
+      extents_.push_back(
+          std::make_unique<uint8_t[]>(kPagesPerExtent * kPageSize));
+    }
   }
   return id;
 }
@@ -30,6 +71,20 @@ void DiskManager::DeallocatePage(PageId page_id) {
   std::lock_guard<std::mutex> g(mu_);
   allocated_.fetch_sub(1, std::memory_order_relaxed);
   free_list_.push_back(page_id);
+}
+
+void DiskManager::EnsureAllocatedThrough(PageId end) {
+  std::lock_guard<std::mutex> g(mu_);
+  while (next_page_id_ < end) {
+    const PageId id = next_page_id_++;
+    if (fd_ < 0) {
+      const size_t extent = id / kPagesPerExtent;
+      if (extent >= extents_.size()) {
+        extents_.push_back(
+            std::make_unique<uint8_t[]>(kPagesPerExtent * kPageSize));
+      }
+    }
+  }
 }
 
 uint8_t* DiskManager::FrameFor(PageId page_id) {
@@ -50,6 +105,27 @@ void DiskManager::SimulateLatency() {
 }
 
 Status DiskManager::ReadPage(PageId page_id, void* out) {
+  if (fd_ >= 0) {
+    if (page_id >= end_page_id()) {
+      return Status::IOError("page beyond device size");
+    }
+    SimulateLatency();
+    // Short reads (file holes / ids past EOF that recovery materializes
+    // from the log) read as zeroes, like a fresh extent.
+    uint8_t* dst = static_cast<uint8_t*>(out);
+    size_t got = 0;
+    const off_t base = static_cast<off_t>(page_id) * kPageSize;
+    while (got < kPageSize) {
+      const ssize_t r = ::pread(fd_, dst + got, kPageSize - got,
+                                base + static_cast<off_t>(got));
+      if (r < 0) return Status::IOError("pread failed: " + path_);
+      if (r == 0) break;  // EOF
+      got += static_cast<size_t>(r);
+    }
+    std::memset(dst + got, 0, kPageSize - got);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
   uint8_t* frame = FrameFor(page_id);
   if (frame == nullptr) return Status::IOError("page beyond device size");
   SimulateLatency();
@@ -59,11 +135,39 @@ Status DiskManager::ReadPage(PageId page_id, void* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const void* data) {
+  if (fd_ >= 0) {
+    if (page_id >= end_page_id()) {
+      return Status::IOError("page beyond device size");
+    }
+    SimulateLatency();
+    const uint8_t* src = static_cast<const uint8_t*>(data);
+    size_t put = 0;
+    const off_t base = static_cast<off_t>(page_id) * kPageSize;
+    while (put < kPageSize) {
+      const ssize_t w = ::pwrite(fd_, src + put, kPageSize - put,
+                                 base + static_cast<off_t>(put));
+      if (w <= 0) return Status::IOError("pwrite failed: " + path_);
+      put += static_cast<size_t>(w);
+    }
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    DurabilityStats::Count(kPageStoreStream,
+                           DurabilityCounter::kBytesFlushed, kPageSize);
+    return Status::OK();
+  }
   uint8_t* frame = FrameFor(page_id);
   if (frame == nullptr) return Status::IOError("page beyond device size");
   SimulateLatency();
   std::memcpy(frame, data, kPageSize);
   writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DiskManager::Sync() {
+  if (fd_ < 0) return Status::OK();
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync failed: " + path_);
+  }
+  DurabilityStats::Count(kPageStoreStream, DurabilityCounter::kFsyncCalls);
   return Status::OK();
 }
 

@@ -1,9 +1,16 @@
-// In-memory page store standing in for the disk.
+// Page store standing in for the disk.
 //
 // The paper stores database and log on an in-memory file system to saturate
 // the CPU while still exercising every storage-manager code path (§5.1); we
-// do the same. Page frames are allocated in fixed-size extents whose
-// addresses never move, so reads/writes need no global lock.
+// do the same by default. Page frames are allocated in fixed-size extents
+// whose addresses never move, so reads/writes need no global lock.
+//
+// With a data directory (Database::Options::data_dir) the store becomes a
+// real file — `<data_dir>/pages.db`, pages at fixed offsets page_id *
+// kPageSize — so checkpointed pages survive process death and a second
+// lifetime can recover from disk alone. Reads of never-written pages (file
+// holes, or ids beyond EOF that recovery re-materializes from the log)
+// return zeroed frames, exactly what a fresh in-memory extent would hold.
 
 #ifndef DORADB_STORAGE_DISK_MANAGER_H_
 #define DORADB_STORAGE_DISK_MANAGER_H_
@@ -12,6 +19,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "storage/types.h"
@@ -24,6 +32,13 @@ class DiskManager {
   // `simulated_latency_ns` > 0 adds a busy-wait to each I/O, for experiments
   // that want to model slower devices.
   explicit DiskManager(uint64_t simulated_latency_ns = 0);
+  // Non-empty `data_dir`: file-backed mode (pages.db); a pre-existing file
+  // is adopted, with allocation resuming past its highest page.
+  explicit DiskManager(const std::string& data_dir,
+                       uint64_t simulated_latency_ns = 0);
+  ~DiskManager();
+  DiskManager(const DiskManager&) = delete;
+  DiskManager& operator=(const DiskManager&) = delete;
 
   // Allocate a fresh page (possibly reusing a deallocated one).
   PageId AllocatePage();
@@ -31,6 +46,17 @@ class DiskManager {
 
   Status ReadPage(PageId page_id, void* out);
   Status WritePage(PageId page_id, const void* data);
+
+  // Make every written page durable (fdatasync; no-op in memory mode).
+  // Checkpoints call this before trusting flushed pages in a redo horizon.
+  Status Sync();
+
+  // Recovery support: extend the device so every id below `end` is a valid
+  // page (redo may reference pages a dead process allocated but never
+  // wrote back — they read as zeroes and are re-materialized from the log).
+  void EnsureAllocatedThrough(PageId end);
+
+  bool file_backed() const { return fd_ >= 0; }
 
   uint64_t NumAllocated() const {
     return allocated_.load(std::memory_order_relaxed);
@@ -54,6 +80,9 @@ class DiskManager {
   std::vector<std::unique_ptr<uint8_t[]>> extents_;
   std::vector<PageId> free_list_;
   PageId next_page_id_ = 0;
+
+  int fd_ = -1;  // pages.db (file-backed mode only)
+  std::string path_;
 
   std::atomic<uint64_t> allocated_{0};
   std::atomic<uint64_t> reads_{0};

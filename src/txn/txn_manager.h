@@ -42,6 +42,18 @@ class TxnManager {
   // long-lived lock holders from freezing truncation.
   std::vector<TxnId> ActiveTxnSnapshot(Lsn* min_undo_low) const;
 
+  // Cold-start id resume: ensure every future id exceeds `txn_id`. A
+  // reopened lifetime must not reissue an id that still has records
+  // (e.g. a kCommit) in the recovered log, or an uncommitted reuse of
+  // that id would inherit the old commit and become a recovery winner.
+  void AdvanceTxnIdPast(TxnId txn_id) {
+    TxnId cur = next_id_.load(std::memory_order_relaxed);
+    while (txn_id + 1 > cur &&
+           !next_id_.compare_exchange_weak(cur, txn_id + 1,
+                                           std::memory_order_acq_rel)) {
+    }
+  }
+
   uint64_t started() const { return started_.load(std::memory_order_relaxed); }
 
  private:

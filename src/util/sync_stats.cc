@@ -1,5 +1,6 @@
 #include "util/sync_stats.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace doradb {
@@ -86,6 +87,79 @@ std::shared_ptr<ThreadStats> MakeRegistered() {
 }
 
 }  // namespace
+
+const char* DurabilityCounterName(DurabilityCounter dc) {
+  switch (dc) {
+    case DurabilityCounter::kFsyncCalls: return "fsyncs";
+    case DurabilityCounter::kBytesFlushed: return "bytes";
+    case DurabilityCounter::kSegmentsSealed: return "sealed";
+    case DurabilityCounter::kSegmentsUnlinked: return "unlinked";
+    case DurabilityCounter::kDurabilityCount: break;
+  }
+  return "?";
+}
+
+namespace {
+
+struct DurabilityRegistry {
+  std::mutex mu;
+  std::vector<DurabilityStats::Row> rows;
+
+  static DurabilityRegistry& Get() {
+    static DurabilityRegistry* r = new DurabilityRegistry();  // leaked
+    return *r;
+  }
+
+  DurabilityStats::Row& RowFor(uint32_t stream) {  // mu held
+    for (auto& row : rows) {
+      if (row.stream == stream) return row;
+    }
+    rows.push_back(DurabilityStats::Row{stream, {}});
+    return rows.back();
+  }
+};
+
+}  // namespace
+
+void DurabilityStats::Count(uint32_t stream, DurabilityCounter dc,
+                            uint64_t n) {
+  DurabilityRegistry& reg = DurabilityRegistry::Get();
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.RowFor(stream).counts[static_cast<size_t>(dc)] += n;
+}
+
+std::vector<DurabilityStats::Row> DurabilityStats::Snapshot() {
+  DurabilityRegistry& reg = DurabilityRegistry::Get();
+  std::lock_guard<std::mutex> g(reg.mu);
+  std::vector<Row> out = reg.rows;
+  std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
+    return a.stream < b.stream;  // kPageStoreStream sorts last
+  });
+  return out;
+}
+
+void DurabilityStats::Reset() {
+  DurabilityRegistry& reg = DurabilityRegistry::Get();
+  std::lock_guard<std::mutex> g(reg.mu);
+  reg.rows.clear();
+}
+
+std::string DurabilityStats::ToString() {
+  std::ostringstream os;
+  for (const Row& row : Snapshot()) {
+    if (row.stream == kPageStoreStream) {
+      os << "pages:";
+    } else {
+      os << "log-" << row.stream << ":";
+    }
+    for (size_t i = 0; i < kNumDurabilityCounters; ++i) {
+      os << " " << DurabilityCounterName(static_cast<DurabilityCounter>(i))
+         << "=" << row.counts[i];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
 
 ThreadStats::ThreadStats() : mark_(Cycles::Now()) {}
 

@@ -127,6 +127,44 @@ class ThreadStats {
   uint64_t mark_ = 0;
 };
 
+// ---- durability accounting (file-backed log segments + page store) ----
+
+enum class DurabilityCounter : uint8_t {
+  kFsyncCalls = 0,      // fsync/fdatasync system calls issued
+  kBytesFlushed,        // log bytes written to segment files
+  kSegmentsSealed,      // segments closed to further appends
+  kSegmentsUnlinked,    // sealed segments deleted by checkpoint truncation
+  kDurabilityCount
+};
+
+constexpr size_t kNumDurabilityCounters =
+    static_cast<size_t>(DurabilityCounter::kDurabilityCount);
+
+const char* DurabilityCounterName(DurabilityCounter dc);
+
+// Stream id used by the file-backed page store (pages.db); log streams use
+// their partition index (the central backend is stream 0).
+constexpr uint32_t kPageStoreStream = 0xFFFFFFFFu;
+
+// Global per-stream durability counters. Streams are log partitions plus
+// the page store; counting happens on flush/checkpoint paths (rare next to
+// appends), so one mutex-guarded table is cheap and keeps snapshots exact.
+class DurabilityStats {
+ public:
+  struct Row {
+    uint32_t stream;  // partition index, or kPageStoreStream
+    std::array<uint64_t, kNumDurabilityCounters> counts{};
+  };
+
+  static void Count(uint32_t stream, DurabilityCounter dc, uint64_t n = 1);
+  // All streams that ever counted, partitions first (ascending), the page
+  // store last.
+  static std::vector<Row> Snapshot();
+  static void Reset();
+  // One line per stream: "plog-0: fsyncs=12 bytes=4096 sealed=1 unlinked=0".
+  static std::string ToString();
+};
+
 // RAII guard: enter a time class, restore the previous class on scope exit.
 class ScopedTimeClass {
  public:

@@ -70,6 +70,10 @@ class TpcbWorkload : public Workload {
 
   std::string name() const override { return "TPC-B"; }
   Status Load() override;
+  // Create the schema WITHOUT loading rows: the reopen path. A database
+  // recovered from a data directory gets its tables re-registered (ids are
+  // deterministic by creation order) so Recover() can adopt their pages.
+  Status Attach() { return schema_.Create(db_); }
   void SetupDora(dora::DoraEngine* engine) override;
   uint32_t NumTxnTypes() const override { return 1; }
   const char* TxnName(uint32_t) const override { return "AccountUpdate"; }

@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +35,13 @@ Database::Options PlogDb(uint32_t parts = 4, uint64_t interval_us = 20) {
 
 plog::PartitionedLogManager* Plm(Database* db) {
   return static_cast<plog::PartitionedLogManager*>(db->log_manager());
+}
+
+// Fresh (pre-wiped) per-test data directory for file-backed durability.
+std::string TempDataDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "doradb_ckpt_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
 }
 
 // Commit `n` single-row inserts, scattering records across partitions.
@@ -326,6 +335,226 @@ TEST(CkptTest, RedoToleratesInsertFlushedBeforeItsStamp) {
   std::string out;
   ASSERT_TRUE(db.catalog()->Heap(table)->Get(rid, &out).ok());
   EXPECT_EQ(out, "tuple");
+}
+
+// ------------------------------------------- durable restart (two lifetimes)
+
+TEST(CkptTest, TwoLifetimeReopenRecoversCommittedState) {
+  const std::string dir = TempDataDir("two_lifetime");
+  Database::Options opts = PlogDb(/*parts=*/2);
+  opts.data_dir = dir;
+  opts.log_segment_bytes = 2048;
+  TableId table;
+
+  // Lifetime 1: commit 30 rows, checkpoint (truncating + unlinking),
+  // update a few rows, then crash and DESTROY the database — nothing
+  // in-memory survives into the next lifetime.
+  {
+    Database db(opts);
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    CommitInserts(&db, table, 30, "v");
+    for (int sweep = 0; sweep < 2; ++sweep) {
+      ASSERT_TRUE(db.CheckpointPartition(0).ok());
+      ASSERT_TRUE(db.CheckpointPartition(1).ok());
+    }
+    EXPECT_GT(db.log_manager()->reclaimed_bytes(), 0u);
+    db.log_manager()->BindThisThread(1);
+    auto txn = db.Begin();
+    Rid r0{};
+    // Rows were inserted with ids scattered; re-find row 0 by re-reading
+    // the first insert's rid via a fresh scan is overkill — update via a
+    // second insert instead: one more committed row post-checkpoint.
+    ASSERT_TRUE(db.Insert(txn.get(), table, "tail", &r0,
+                          AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+    db.SimulateCrash();
+  }
+
+  // Lifetime 2: reopen from the directory, recover, verify, extend.
+  {
+    Database db(opts);
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    ASSERT_TRUE(db.Recover(nullptr).ok());
+    EXPECT_EQ(db.catalog()->Heap(table)->record_count(), 31u)
+        << "all committed rows must be rebuilt from disk alone";
+    size_t tails = 0, values = 0;
+    ASSERT_TRUE(db.catalog()
+                    ->Heap(table)
+                    ->Scan([&](const Rid&, std::string_view rec) {
+                      if (rec == "tail") ++tails;
+                      if (rec.rfind("v", 0) == 0) ++values;
+                      return true;
+                    })
+                    .ok());
+    EXPECT_EQ(tails, 1u) << "the post-checkpoint commit must survive";
+    EXPECT_EQ(values, 30u) << "checkpointed history must survive truncation";
+
+    // Extend state, then CLEAN shutdown (no crash) for lifetime 3.
+    auto txn = db.Begin();
+    Rid rid;
+    ASSERT_TRUE(db.Insert(txn.get(), table, "lifetime2", &rid,
+                          AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+  }
+
+  // Lifetime 3: a clean shutdown must also reopen consistently.
+  {
+    Database db(opts);
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    ASSERT_TRUE(db.Recover(nullptr).ok());
+    EXPECT_EQ(db.catalog()->Heap(table)->record_count(), 32u);
+  }
+}
+
+TEST(CkptTest, ReopenWithEagerIndexRootsDoesNotReuseLoggedPageIds) {
+  // Regression: a reopened lifetime re-creates its schema BEFORE Recover,
+  // and CreateIndex eagerly allocates a B+Tree root page. The dead
+  // lifetime's heap pages can sit beyond pages.db EOF (acked on WAL only,
+  // never flushed), so a naive allocator would hand the root one of those
+  // logged page ids — and redo would re-Init the frame as a heap page,
+  // clobbering the root. The Database constructor must raise the page
+  // allocator past every page id the recovered log references.
+  // The collision needs pages.db EOF to sit strictly between the flushed
+  // pages and the dead lifetime's allocation frontier: big rows (few per
+  // page), a checkpoint mid-run (flushes the pages so far = the EOF),
+  // then more inserts allocating pages past it that reach only the WAL.
+  const std::string dir = TempDataDir("index_root");
+  Database::Options opts = PlogDb(/*parts=*/2);
+  opts.data_dir = dir;
+  TableId table;
+  IndexId index;
+  auto row_value = [](int i) {
+    return "row" + std::to_string(i) + "|" + std::string(3000, 'x');
+  };
+  auto row_key = [](std::string_view rec) {
+    return "k" + std::string(rec.substr(3, rec.find('|') - 3));
+  };
+  constexpr int kRows = 12;
+  std::vector<Rid> rids;
+  {
+    Database db(opts);
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    ASSERT_TRUE(
+        db.catalog()->CreateIndex(table, "t_pk", true, false, &index).ok());
+    auto insert_rows = [&](int from, int to) {
+      for (int i = from; i < to; ++i) {
+        auto txn = db.Begin();
+        Rid rid;
+        ASSERT_TRUE(db.Insert(txn.get(), table, row_value(i), &rid,
+                              AccessOptions::Baseline()).ok());
+        ASSERT_TRUE(db.IndexInsert(txn.get(), index,
+                                   "k" + std::to_string(i),
+                                   IndexEntry{rid, 0, false}).ok());
+        ASSERT_TRUE(db.Commit(txn.get()).ok());
+        rids.push_back(rid);
+      }
+    };
+    insert_rows(0, 4);
+    ASSERT_TRUE(db.CheckpointPartition(0).ok());  // EOF = pages so far
+    ASSERT_TRUE(db.CheckpointPartition(1).ok());
+    insert_rows(4, kRows);  // fresh pages past EOF, WAL-only
+    db.SimulateKill();
+  }
+  Database db(opts);
+  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  // Without the constructor's allocator bump this root would be handed
+  // the first page id past pages.db EOF — a WAL-only heap page.
+  ASSERT_TRUE(
+      db.catalog()->CreateIndex(table, "t_pk", true, false, &index).ok());
+  ASSERT_TRUE(db.Recover([&](Database* d) {
+    // Schema-aware index rebuild, as a workload would do.
+    return d->catalog()->Heap(table)->Scan(
+        [&](const Rid& rid, std::string_view rec) {
+          (void)d->catalog()->Index(index)->Insert(
+              row_key(rec), IndexEntry{rid, 0, false});
+          return true;
+        });
+  }).ok());
+  for (int i = 0; i < kRows; ++i) {
+    std::string out;
+    ASSERT_TRUE(db.catalog()->Heap(table)->Get(rids[i], &out).ok());
+    EXPECT_EQ(out, row_value(i));
+    IndexEntry entry;
+    ASSERT_TRUE(db.catalog()
+                    ->Index(index)
+                    ->Probe("k" + std::to_string(i), &entry)
+                    .ok())
+        << "index root must not have been clobbered by redo (key k" << i
+        << ")";
+    EXPECT_EQ(entry.rid, rids[i]);
+  }
+}
+
+TEST(CkptTest, CentralFileBackendReopenRecovers) {
+  const std::string dir = TempDataDir("central_reopen");
+  Database::Options opts;  // central backend
+  opts.buffer_frames = 256;
+  opts.log.flush_interval_us = 20;
+  opts.data_dir = dir;
+  opts.log_segment_bytes = 2048;
+  TableId table;
+  std::vector<Rid> rids;
+  {
+    Database db(opts);
+    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    rids = CommitInserts(&db, table, 20, "c");
+    ASSERT_TRUE(db.Checkpoint().ok());
+    EXPECT_GT(db.log_manager()->reclaimed_bytes(), 0u);
+    db.SimulateCrash();
+  }
+  Database db(opts);
+  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  ASSERT_TRUE(db.Recover(nullptr).ok());
+  for (int i = 0; i < 20; ++i) {
+    std::string out;
+    ASSERT_TRUE(db.catalog()->Heap(table)->Get(rids[i], &out).ok());
+    EXPECT_EQ(out, "c" + std::to_string(i));
+  }
+  // LSN allocation must have resumed past the recovered stream.
+  auto txn = db.Begin();
+  Rid rid;
+  ASSERT_TRUE(db.Insert(txn.get(), table, "fresh", &rid,
+                        AccessOptions::Baseline()).ok());
+  ASSERT_TRUE(db.Commit(txn.get()).ok());
+  std::string out;
+  ASSERT_TRUE(db.catalog()->Heap(table)->Get(rid, &out).ok());
+  EXPECT_EQ(out, "fresh");
+}
+
+// ------------------------------------------------ adaptive cadence
+
+TEST(CkptTest, AdaptivePickFollowsStableLogGrowth) {
+  Database db(PlogDb(/*parts=*/4, /*interval_us=*/1000000));
+  TableId table;
+  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  const std::vector<Rid> rids = CommitInserts(&db, table, 4, "b");
+  // Settle: checkpoint every partition so the baselines reflect the
+  // setup traffic.
+  for (uint32_t p = 0; p < 4; ++p) {
+    ASSERT_TRUE(db.CheckpointPartition(p).ok());
+  }
+
+  // Make partition 2 hot: all appends bound there.
+  db.log_manager()->BindThisThread(2);
+  for (int i = 0; i < 10; ++i) {
+    auto txn = db.Begin();
+    ASSERT_TRUE(db.Update(txn.get(), table, rids[0],
+                          "hot" + std::to_string(i),
+                          AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+  }
+  EXPECT_EQ(db.checkpointer()->PickPartition(), 2u)
+      << "the daemon must visit the partition whose stable log grew";
+
+  ASSERT_TRUE(db.CheckpointPartition(2).ok());
+  const auto visits = db.checkpointer()->partition_visits();
+  ASSERT_EQ(visits.size(), 4u);
+  EXPECT_GE(visits[2], 2u);
+  // Post-visit baseline reset + idle system: picks fall back to
+  // round-robin instead of re-hammering partition 2.
+  const uint32_t a = db.checkpointer()->PickPartition();
+  const uint32_t b = db.checkpointer()->PickPartition();
+  EXPECT_NE(a, b) << "idle rounds must rotate, not stick";
 }
 
 // ------------------------------------------------ global mode + central

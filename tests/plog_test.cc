@@ -4,6 +4,7 @@
 // release on top of it.
 
 #include <atomic>
+#include <filesystem>
 #include <map>
 #include <thread>
 #include <vector>
@@ -18,6 +19,13 @@
 
 namespace doradb {
 namespace {
+
+// Fresh (pre-wiped) per-test data directory for file-backed log streams.
+std::string TempLogDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "doradb_plog_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
 
 plog::PartitionedLogManager::Options PlogOpts(uint32_t parts,
                                               uint64_t interval_us = 20) {
@@ -157,6 +165,195 @@ TEST(PlogTest, TornTailTruncatesAtLastWholeRecord) {
   ASSERT_EQ(recs.size(), 1u);
   EXPECT_EQ(recs[0].lsn, a.lsn);
   EXPECT_EQ(recs[0].after, std::string(64, 'x'));
+}
+
+// --------------------------------------------- file-backed segments
+
+TEST(PlogFileTest, ReopenReplaysStableStreamAndAdvancesClock) {
+  const std::string dir = TempLogDir("reopen");
+  plog::PartitionedLogManager::Options o = PlogOpts(2, 1000000);
+  o.data_dir = dir;
+  Lsn max_gsn = 0;
+  {
+    plog::PartitionedLogManager log{o};
+    for (int i = 0; i < 10; ++i) {
+      log.BindThisThread(static_cast<uint32_t>(i));
+      LogRecord rec;
+      rec.type = LogType::kUpdate;
+      rec.txn = 1;
+      rec.after = "v" + std::to_string(i);
+      max_gsn = log.Append(&rec);
+    }
+    log.FlushTo(log.current_lsn());
+  }  // clean close: segment files + watermark headers on disk
+
+  plog::PartitionedLogManager log{o};  // second lifetime
+  const auto recs = log.ReadStable();
+  ASSERT_EQ(recs.size(), 10u) << "cold start must rebuild the streams";
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].lsn, recs[i].lsn);
+  }
+  EXPECT_GE(log.current_lsn(), max_gsn)
+      << "the GSN clock must resume past every recovered record";
+  LogRecord rec;
+  rec.type = LogType::kCommit;
+  rec.txn = 1;
+  EXPECT_GT(log.Append(&rec), max_gsn) << "no GSN may ever be reissued";
+}
+
+TEST(PlogFileTest, TornSegmentTailTruncatedOnReopen) {
+  const std::string dir = TempLogDir("torn");
+  plog::PartitionedLogManager::Options o = PlogOpts(1, 1000000);
+  o.data_dir = dir;
+  {
+    plog::PartitionedLogManager log{o};
+    log.BindThisThread(0);
+    LogRecord a;
+    a.type = LogType::kInsert;
+    a.txn = 1;
+    a.after = std::string(64, 'x');
+    log.Append(&a);
+    LogRecord b;
+    b.type = LogType::kInsert;
+    b.txn = 1;
+    b.after = std::string(64, 'y');
+    log.Append(&b);
+    log.FlushTo(log.current_lsn());
+    // The dead process's last write tears mid-record on the medium.
+    log.partition(0)->TearStableTail(10);
+    log.SimulateKill();
+  }
+  plog::PartitionedLogManager log{o};
+  const auto recs = log.ReadStable();
+  ASSERT_EQ(recs.size(), 1u)
+      << "reopen must truncate the torn tail at the last whole record";
+  EXPECT_EQ(recs[0].after, std::string(64, 'x'));
+  // Appends after the truncation must extend a decodable stream.
+  log.BindThisThread(0);
+  LogRecord c;
+  c.type = LogType::kInsert;
+  c.txn = 2;
+  c.after = std::string(64, 'z');
+  log.Append(&c);
+  log.FlushTo(log.current_lsn());
+  EXPECT_EQ(log.ReadStable().size(), 2u);
+}
+
+TEST(PlogFileTest, ReopenTruncatesFlushedAheadRecords) {
+  // Cross-lifetime variant of HorizonDropsFlushedAheadRecords, with the
+  // stronger physical claim: a record above the merged cold-start horizon
+  // must not merely be hidden by the first recovery's merge — it must be
+  // truncated OFF the segment files, or a later lifetime whose horizon
+  // has moved past it would resurrect it.
+  const std::string dir = TempLogDir("flushed_ahead");
+  plog::PartitionedLogManager::Options o = PlogOpts(2, 1000000);
+  o.data_dir = dir;
+  {
+    plog::PartitionedLogManager log{o};
+    log.BindThisThread(0);
+    LogRecord mine;
+    mine.type = LogType::kUpdate;
+    mine.txn = 1;
+    log.Append(&mine);  // gsn 1, volatile in partition 0 — dies unflushed
+    log.BindThisThread(1);
+    LogRecord ahead;
+    ahead.type = LogType::kCommit;
+    ahead.txn = 1;
+    log.Append(&ahead);     // gsn 2
+    log.FlushPartition(1);  // partition 1 is durably ahead of partition 0
+    log.SimulateKill();
+  }
+  plog::PartitionedLogManager log{o};
+  EXPECT_TRUE(log.ReadStable().empty())
+      << "commit above the horizon must not survive its lost update";
+  EXPECT_EQ(log.partition(1)->stable_size(), 0u)
+      << "the suprahorizon record must be physically gone, not just "
+         "hidden from this recovery's merge";
+}
+
+TEST(PlogFileTest, DecodeErrorNamesSegmentFileAndOffset) {
+  const std::string dir = TempLogDir("decode_err");
+  plog::PartitionedLogManager::Options o = PlogOpts(1, 1000000);
+  o.data_dir = dir;
+  plog::PartitionedLogManager log{o};
+  log.BindThisThread(0);
+  for (int i = 0; i < 8; ++i) {
+    LogRecord rec;
+    rec.type = LogType::kUpdate;
+    rec.txn = 1;
+    rec.after = std::string(40, static_cast<char>('a' + i));
+    log.Append(&rec);
+  }
+  log.FlushTo(log.current_lsn());
+  log.partition(0)->FlipStableByte(log.partition(0)->stable_size() / 2);
+  Status tail;
+  const auto recs = log.partition(0)->ReadStable(&tail);
+  EXPECT_LT(recs.size(), 8u);
+  ASSERT_FALSE(tail.ok());
+  EXPECT_NE(tail.ToString().find("seg-"), std::string::npos)
+      << "the error must name the segment file: " << tail.ToString();
+  EXPECT_NE(tail.ToString().find("offset"), std::string::npos)
+      << "the error must carry the byte offset: " << tail.ToString();
+}
+
+TEST(PlogFileTest, MemoryDecodeErrorStillReportsOffset) {
+  plog::PartitionedLogManager log{PlogOpts(1, 1000000)};
+  log.BindThisThread(0);
+  for (int i = 0; i < 4; ++i) {
+    LogRecord rec;
+    rec.type = LogType::kUpdate;
+    rec.txn = 1;
+    rec.after = std::string(40, 'm');
+    log.Append(&rec);
+  }
+  log.FlushTo(log.current_lsn());
+  log.partition(0)->FlipStableByte(log.partition(0)->stable_size() / 2);
+  Status tail;
+  (void)log.partition(0)->ReadStable(&tail);
+  ASSERT_FALSE(tail.ok());
+  EXPECT_NE(tail.ToString().find("<memory>"), std::string::npos)
+      << tail.ToString();
+  EXPECT_NE(tail.ToString().find("offset"), std::string::npos);
+}
+
+TEST(PlogFileTest, SegmentsRollAndCheckpointTruncationUnlinksThem) {
+  const std::string dir = TempLogDir("unlink");
+  Database::Options opts = PlogDb(/*parts=*/2);
+  opts.data_dir = dir;
+  opts.log_segment_bytes = 1024;  // roll every few records
+  Database db(opts);
+  TableId table;
+  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  std::vector<Rid> rids;
+  for (int i = 0; i < 60; ++i) {
+    db.log_manager()->BindThisThread(static_cast<uint32_t>(i));
+    auto txn = db.Begin();
+    Rid rid;
+    ASSERT_TRUE(db.Insert(txn.get(), table,
+                          "padpadpadpadpadpad" + std::to_string(i), &rid,
+                          AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db.Commit(txn.get()).ok());
+    rids.push_back(rid);
+  }
+  db.log_manager()->FlushTo(db.log_manager()->current_lsn());
+  const size_t files_before = db.log_manager()->segment_files();
+  ASSERT_GT(files_before, 2u) << "small segments must have rolled";
+
+  for (int sweep = 0; sweep < 2; ++sweep) {
+    ASSERT_TRUE(db.CheckpointPartition(0).ok());
+    ASSERT_TRUE(db.CheckpointPartition(1).ok());
+  }
+  EXPECT_LT(db.log_manager()->segment_files(), files_before)
+      << "truncation must unlink whole segment files";
+  EXPECT_GT(db.log_manager()->reclaimed_bytes(), 0u);
+
+  db.SimulateCrash();
+  ASSERT_TRUE(db.Recover(nullptr).ok());
+  for (int i = 0; i < 60; ++i) {
+    std::string out;
+    ASSERT_TRUE(db.catalog()->Heap(table)->Get(rids[i], &out).ok());
+    EXPECT_EQ(out, "padpadpadpadpadpad" + std::to_string(i));
+  }
 }
 
 // ------------------------------------- recovery through the facade
@@ -523,6 +720,161 @@ TEST(PlogPropertyTest, CheckpointedCrashLoopRecoversCommittedPrefix) {
     EXPECT_GT(db.log_manager()->reclaimed_bytes(), 0u)
         << "seed " << seed
         << ": checkpoints must actually have truncated the log";
+  }
+}
+
+// Crash-loop property across PROCESS LIFETIMES (file-backed segments):
+// the same committed-prefix discipline as the checkpointed crash loop, but
+// each round ends in one of two deaths —
+//   * an in-process crash (SimulateCrash + Recover on the live object), or
+//   * a kill: buffers dropped with NO stable truncation (torn tails and
+//     stale watermark headers stay on the segment files), the Database
+//     destroyed, and a fresh one opened over the data directory — the
+//     cold-start path: streams, claims, and the GSN clock all rebuilt from
+//     files alone.
+// Partitions also suffer random mid-record tears ("killed between
+// fsyncs") before every death. After each recovery:
+//  1. every acknowledged commit survives,
+//  2. every row holds a commit-logged value at least as recent as the
+//     row's last acknowledged writer,
+// and the next round continues on the recovered state.
+TEST(PlogPropertyTest, FileBackendCrashLoopAcrossLifetimes) {
+  constexpr uint32_t kPartitions = 4;
+  constexpr int kRows = 10;
+  constexpr int kTxnsPerRound = 30;
+  constexpr int kRounds = 4;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed * 0xD1B54A32D192ED03ull);
+    const std::string dir =
+        TempLogDir("crash_loop_" + std::to_string(seed));
+    // Long flusher naps keep flush progress test-driven; short enough that
+    // the per-lifetime teardown join stays cheap.
+    Database::Options opts = PlogDb(kPartitions, /*interval_us=*/200000);
+    opts.data_dir = dir;
+    opts.log_segment_bytes = 2048;  // several rolls per round
+    auto db = std::make_unique<Database>(opts);
+    TableId table;
+    ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+
+    std::vector<Rid> rids(kRows);
+    {
+      auto setup = db->Begin();
+      for (int r = 0; r < kRows; ++r) {
+        ASSERT_TRUE(db->Insert(setup.get(), table, "base", &rids[r],
+                               AccessOptions::Baseline()).ok());
+      }
+      ASSERT_TRUE(db->Commit(setup.get()).ok());
+    }
+
+    struct Write {
+      std::string value;
+      bool acked;
+    };
+    std::vector<std::vector<Write>> history(kRows, {{"base", true}});
+
+    struct Pending {
+      std::unique_ptr<Transaction> txn;
+      Lsn gsn;
+      std::vector<std::pair<int, size_t>> writes;
+    };
+    std::vector<Pending> pending;
+
+    auto drain_acks = [&] {
+      const Lsn horizon = db->log_manager()->flushed_lsn();
+      size_t n = 0;
+      while (n < pending.size() && pending[n].gsn <= horizon) {
+        ASSERT_TRUE(db->CommitFinalize(pending[n].txn.get()).ok());
+        for (const auto& [row, idx] : pending[n].writes) {
+          history[row][idx].acked = true;
+        }
+        ++n;
+      }
+      pending.erase(pending.begin(), pending.begin() + n);
+    };
+
+    for (int round = 0; round < kRounds; ++round) {
+      for (int t = 0; t < kTxnsPerRound; ++t) {
+        auto txn = db->Begin();
+        const int nops = static_cast<int>(rng.UniformInt(uint64_t{1}, 3));
+        std::vector<std::pair<int, size_t>> writes;
+        for (int i = 0; i < nops; ++i) {
+          const int row = static_cast<int>(
+              rng.UniformInt(uint64_t{0}, uint64_t{kRows - 1}));
+          db->log_manager()->BindThisThread(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1)));
+          const std::string value = "s" + std::to_string(seed) + "r" +
+                                    std::to_string(round) + "t" +
+                                    std::to_string(t) + "o" +
+                                    std::to_string(i);
+          ASSERT_TRUE(db->Update(txn.get(), table, rids[row], value,
+                                 AccessOptions::Baseline()).ok());
+          history[row].push_back(Write{value, false});
+          writes.emplace_back(row, history[row].size() - 1);
+        }
+        const Lsn gsn = db->CommitAsync(txn.get());
+        db->lock_manager()->ReleaseAll(txn.get());  // ELR
+        pending.push_back(Pending{std::move(txn), gsn, std::move(writes)});
+
+        if (rng.Percent(50)) {
+          db->log_manager()->WaitFlushed(gsn);
+        } else if (rng.Percent(40)) {
+          Plm(db.get())->FlushPartition(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1)));
+        }
+        drain_acks();
+        if (rng.Percent(20)) {
+          ASSERT_TRUE(db->CheckpointPartition(static_cast<uint32_t>(
+              rng.UniformInt(uint64_t{0}, kPartitions - 1))).ok());
+        }
+      }
+
+      // Death throes: random per-partition flush progress, possibly
+      // tearing mid-record — the "killed between two fsyncs" shape.
+      for (uint32_t p = 0; p < kPartitions; ++p) {
+        if (rng.Percent(60)) {
+          Plm(db.get())->partition(p)->PartialFlushTorn(
+              rng.UniformInt(uint64_t{0}, uint64_t{4096}));
+        }
+      }
+      const bool cold_restart = rng.Percent(50);
+      if (cold_restart) {
+        db->SimulateKill();
+        for (auto& p : pending) db->txn_manager()->Finish(p.txn.get());
+        pending.clear();
+        db.reset();  // the process is gone
+        db = std::make_unique<Database>(opts);  // second lifetime
+        ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+      } else {
+        db->SimulateCrash();
+        for (auto& p : pending) db->txn_manager()->Finish(p.txn.get());
+        pending.clear();
+      }
+      ASSERT_TRUE(db->Recover(nullptr).ok());
+
+      for (int row = 0; row < kRows; ++row) {
+        std::string out;
+        ASSERT_TRUE(db->catalog()->Heap(table)->Get(rids[row], &out).ok());
+        const auto& h = history[row];
+        size_t last_acked = 0;
+        for (size_t i = 0; i < h.size(); ++i) {
+          if (h[i].acked) last_acked = i;
+        }
+        bool found = false;
+        for (size_t i = last_acked; i < h.size(); ++i) {
+          if (h[i].value == out) {
+            found = true;
+            break;
+          }
+        }
+        ASSERT_TRUE(found)
+            << "seed " << seed << " round " << round
+            << (cold_restart ? " (cold restart)" : " (crash)") << " row "
+            << row << " holds '" << out
+            << "', older than its last acked write '" << h[last_acked].value
+            << "'";
+        history[row] = {{out, true}};
+      }
+    }
   }
 }
 
