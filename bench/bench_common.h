@@ -9,6 +9,11 @@
 //   DORADB_TPCB_BRANCHES  TPC-B branches             (default 8)
 //   DORADB_TPCC_WH        TPC-C warehouses           (default 4)
 //   DORADB_MAX_MULT       max clients as multiple of cores (default 4)
+//   DORADB_EXECUTORS      DORA executors per table   (default 1; rigs that
+//                         take an explicit executor count ignore this)
+//   DORADB_PIN            1 = pin executors to cores by partition index
+//   DORADB_BASE_WORKERS   >0: baseline runs through a shared request queue
+//                         drained in batches by this many workers
 //
 // WAL knobs (both backends benchable without recompiling):
 //   DORADB_LOG_BACKEND    "central" (default) or "plog"
@@ -58,6 +63,19 @@ inline LogManager::Options LogOptionsFromEnv() {
   o.flush_interval_us = EnvU64("DORADB_LOG_FLUSH_US", o.flush_interval_us);
   o.synchronous = EnvU64("DORADB_LOG_SYNC", 0) != 0;
   return o;
+}
+
+// Engine options from driver flags: executor→core pinning (the NUMA
+// roadmap's first step) is opt-in because hosts with fewer cores than
+// executors + clients lose more to forced migration than they gain.
+inline dora::DoraEngine::Options EngineOptionsFromEnv() {
+  dora::DoraEngine::Options o;
+  o.pin_threads = EnvU64("DORADB_PIN", 0) != 0;
+  return o;
+}
+
+inline uint32_t ExecutorsFromEnv() {
+  return static_cast<uint32_t>(EnvU64("DORADB_EXECUTORS", 1));
 }
 
 inline LogBackendKind LogBackendFromEnv() {
@@ -126,13 +144,14 @@ struct Rig {
   }
 };
 
-inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 1,
+inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 0,
                                      bool trace = false) {
   Rig<tm1::Tm1Workload> rig;
   rig.db = std::make_unique<Database>(DbOptions());
   tm1::Tm1Workload::Config cfg;
   cfg.subscribers = EnvU64("DORADB_TM1_SUBS", 20000);
-  cfg.executors_per_table = executors_per_table;
+  cfg.executors_per_table =
+      executors_per_table != 0 ? executors_per_table : ExecutorsFromEnv();
   cfg.trace_subscriber_accesses = trace;
   rig.workload = std::make_unique<tm1::Tm1Workload>(rig.db.get(), cfg);
   Status s = rig.workload->Load();
@@ -140,7 +159,8 @@ inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 1,
     std::fprintf(stderr, "TM1 load failed: %s\n", s.ToString().c_str());
     std::abort();
   }
-  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get(),
+                                                  EngineOptionsFromEnv());
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
   return rig;
@@ -172,12 +192,12 @@ inline Rig<tpcb::TpcbWorkload> MakeTpcbWith(
 }
 
 inline Rig<tpcb::TpcbWorkload> MakeTpcb() {
-  return MakeTpcbWith(DbOptions(), dora::DoraEngine::Options(),
+  return MakeTpcbWith(DbOptions(), EngineOptionsFromEnv(),
                       /*account_executors=*/2, /*other_executors=*/1);
 }
 
 inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,
-                                        uint32_t executors_per_table = 1,
+                                        uint32_t executors_per_table = 0,
                                         bool trace = false) {
   Rig<tpcc::TpccWorkload> rig;
   rig.db = std::make_unique<Database>(DbOptions());
@@ -187,7 +207,8 @@ inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,
                        : static_cast<uint32_t>(EnvU64("DORADB_TPCC_WH", 4));
   cfg.customers_per_district = 300;
   cfg.items = 1000;
-  cfg.executors_per_table = executors_per_table;
+  cfg.executors_per_table =
+      executors_per_table != 0 ? executors_per_table : ExecutorsFromEnv();
   cfg.trace_district_accesses = trace;
   rig.workload = std::make_unique<tpcc::TpccWorkload>(rig.db.get(), cfg);
   Status s = rig.workload->Load();
@@ -195,7 +216,8 @@ inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,
     std::fprintf(stderr, "TPC-C load failed: %s\n", s.ToString().c_str());
     std::abort();
   }
-  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get());
+  rig.engine = std::make_unique<dora::DoraEngine>(rig.db.get(),
+                                                  EngineOptionsFromEnv());
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
   return rig;
@@ -210,7 +232,20 @@ inline BenchConfig MakeConfig(EngineKind kind, dora::DoraEngine* engine,
   cfg.duration_ms = BenchMs();
   cfg.warmup_ms = BenchMs() / 4;
   cfg.txn_type = txn_type;
+  cfg.baseline_workers =
+      static_cast<uint32_t>(EnvU64("DORADB_BASE_WORKERS", 0));
   return cfg;
+}
+
+// One-line summary of the engine's inbox/arena counters over a measured
+// window (pass the delta of two CollectInboxStats snapshots).
+inline void PrintInboxStats(const dora::DoraEngine::InboxStats& d) {
+  std::printf(
+      "    dora inbox: batches=%llu actions_per_drain=%.2f "
+      "wakeups_per_action=%.3f tickets=%llu arena_recycles=%llu\n",
+      static_cast<unsigned long long>(d.batches), d.actions_per_drain(),
+      d.wakeups_per_action(), static_cast<unsigned long long>(d.tickets),
+      static_cast<unsigned long long>(d.arena_recycles));
 }
 
 inline void PrintHeader(const char* fig, const char* desc) {

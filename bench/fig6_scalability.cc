@@ -21,14 +21,22 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
     double tps[2] = {0, 0};
     double load = 0;
     int i = 0;
+    dora::DoraEngine::InboxStats delta;
     for (const EngineKind kind : {EngineKind::kBaseline, EngineKind::kDora}) {
       ThreadStats::ResetAll();
+      const auto s0 = engine->CollectInboxStats();
       const BenchResult r =
           RunBench(workload, MakeConfig(kind, engine, clients, txn_type));
+      if (kind == EngineKind::kDora) {
+        delta = engine->CollectInboxStats() - s0;
+      }
       tps[i++] = r.throughput_tps;
       load = r.offered_load_pct;
     }
     std::printf("%-10.0f %14.0f %14.0f\n", load, tps[0], tps[1]);
+    // Inbox efficiency at this load: batch draining should hold executor
+    // wakeups-per-action below 1 (well below once queues stay non-empty).
+    PrintInboxStats(delta);
   }
 }
 

@@ -24,6 +24,7 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
                int txn_type) {
   Peak peaks[2];
   int i = 0;
+  const auto s0 = engine->CollectInboxStats();
   for (const EngineKind kind : {EngineKind::kBaseline, EngineKind::kDora}) {
     for (uint32_t clients : ClientLadder()) {
       ThreadStats::ResetAll();
@@ -39,6 +40,7 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
   std::printf("%-28s %10.0f @%4.0f%% %10.0f @%4.0f%% %8.2fx\n", label,
               peaks[0].tps, peaks[0].at_load, peaks[1].tps, peaks[1].at_load,
               peaks[0].tps > 0 ? peaks[1].tps / peaks[0].tps : 0.0);
+  PrintInboxStats(engine->CollectInboxStats() - s0);
 }
 
 }  // namespace

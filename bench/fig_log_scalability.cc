@@ -27,6 +27,7 @@ struct Point {
   double log_cont_pct;
   double log_work_pct;
   double cont_cycles_per_txn;
+  uint64_t idle_syncs_skipped;
 };
 
 Point RunPoint(LogBackendKind backend, uint32_t account_executors) {
@@ -68,6 +69,7 @@ Point RunPoint(LogBackendKind backend, uint32_t account_executors) {
       r.committed == 0 ? 0
                        : static_cast<double>(cont) /
                              static_cast<double>(r.committed);
+  p.idle_syncs_skipped = rig.db->log_manager()->idle_syncs_skipped();
   return p;
 }
 
@@ -87,6 +89,8 @@ void RunSweep(const char* name, LogBackendKind backend) {
       // amortize fsyncs far below the committed-txn count.
       std::printf("  durability counters (per stream):\n%s",
                   DurabilityStats::ToString().c_str());
+      std::printf("  idle watermark-only header syncs skipped: %llu\n",
+                  static_cast<unsigned long long>(p.idle_syncs_skipped));
     }
   }
 }

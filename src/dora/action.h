@@ -6,12 +6,19 @@
 // the routing-field value(s) of the records it intends to access. RVPs
 // separate a transaction into phases; actions of different phases never run
 // concurrently.
+//
+// Executor messaging: actions and completion messages are both intrusive
+// inbox entries (InboxEntry over util/mpsc_queue.h), so an executor drains
+// one lock-free queue and wakes at most once per batch. Transaction
+// contexts are pooled in per-executor arenas (dora/arena.h) and recycled —
+// via an intrusive reference count — once the client and every completion
+// message are done with them, which removes all per-transaction
+// malloc/free of graph state from the steady-state path.
 
 #ifndef DORADB_DORA_ACTION_H_
 #define DORADB_DORA_ACTION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -20,6 +27,7 @@
 
 #include "engine/database.h"
 #include "txn/transaction.h"
+#include "util/mpsc_queue.h"
 #include "util/status.h"
 
 namespace doradb {
@@ -28,6 +36,7 @@ namespace dora {
 class Executor;
 class DoraEngine;
 class DoraTxn;
+class TxnArena;
 
 // Thread-local lock modes: DORA needs only shared/exclusive (§4.1.3).
 enum class LocalMode : uint8_t { kS = 0, kX = 1 };
@@ -42,8 +51,18 @@ struct ActionEnv {
 
 using ActionBody = std::function<Status(ActionEnv&)>;
 
+// Header of every executor inbox message. Executors receive exactly three
+// message kinds through one MPSC queue: dispatched actions, transaction
+// completions (§4.1.3 steps 10-12), and the stop sentinel.
+struct InboxEntry : MpscNode {
+  enum class Kind : uint8_t { kAction = 0, kCompletion = 1, kStop = 2 };
+  Kind kind = Kind::kAction;
+};
+
 // A unit of work routed to the executor owning the dataset it touches.
-struct Action {
+struct Action : InboxEntry {
+  Action() { kind = Kind::kAction; }
+
   DoraTxn* dtxn = nullptr;
   TableId table = 0;
   uint64_t routing_value = 0;  // action identifier (single routing field)
@@ -51,14 +70,42 @@ struct Action {
   LocalMode mode = LocalMode::kS;
   ActionBody body;
   size_t phase = 0;
-  Executor* owner = nullptr;   // executor it was dispatched to
-  uint64_t parked_at = 0;      // cycle timestamp when parked (0 = never)
+  Executor* owner = nullptr;  // executor it was dispatched to
+  // Global dispatch ticket (dora/ticket.h). 0 = single-queue dispatch, no
+  // ordering constraint; nonzero = the executor defers admission until the
+  // published horizon covers it, restoring the §4.2.3 atomicity.
+  uint64_t ticket = 0;
+  uint64_t parked_at = 0;  // cycle timestamp when parked (0 = never)
+};
+
+// Completion message: "release dtxn's thread-local locks". One per
+// participating executor, embedded in the transaction context so fan-out
+// allocates nothing; each message carries one reference on the context.
+struct CompletionMsg : InboxEntry {
+  CompletionMsg() { kind = Kind::kCompletion; }
+  DoraTxn* dtxn = nullptr;
+};
+
+// Stop sentinel, pushed once by Executor::Stop().
+struct StopMsg : InboxEntry {
+  StopMsg() { kind = Kind::kStop; }
 };
 
 // Rendezvous point: counts down as the actions of its phase complete; the
 // zeroing executor initiates the next phase (or commit/abort, §4.1.3).
+// Copyable so RVPs live in a plain (capacity-recycled) vector — copies
+// only ever happen during single-threaded graph materialization.
 struct Rvp {
   std::atomic<int32_t> remaining{0};
+
+  Rvp() = default;
+  Rvp(const Rvp& o)
+      : remaining(o.remaining.load(std::memory_order_relaxed)) {}
+  Rvp& operator=(const Rvp& o) {
+    remaining.store(o.remaining.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    return *this;
+  }
 };
 
 // Declarative transaction flow graph, built by the dispatcher. Phases run
@@ -117,10 +164,21 @@ class FlowGraph {
 };
 
 // Per-transaction execution context shared by dispatcher and executors.
+//
+// Lifetime: reference-counted. The client's handle (DoraTxnRef) holds one
+// reference; every in-flight completion message and commit-ack entry holds
+// another. The last release recycles the context into its home arena with
+// all vector capacities intact, so a warmed-up engine materializes and
+// dispatches flow graphs without touching the allocator.
 class DoraTxn {
  public:
+  // Standalone construction (tests, non-pooled use): the caller owns the
+  // object and Unref never recycles it.
   DoraTxn(Database* db, std::unique_ptr<Transaction> txn)
       : db_(db), txn_(std::move(txn)) {}
+
+  // Pooled construction; see dora/arena.h.
+  explicit DoraTxn(TxnArena* home) : home_(home) {}
 
   Database* db() { return db_; }
   Transaction* txn() { return txn_.get(); }
@@ -140,37 +198,111 @@ class DoraTxn {
   }
 
   // Dispatcher blocks here (closed loop) until the terminal RVP finishes.
+  // Direct futex wait on the done flag — no mutex, no condvar, and none of
+  // the pre-sleep spinning of std::atomic::wait, which on saturated hosts
+  // only delays the executor that would set the flag.
   Status Wait() {
-    std::unique_lock<std::mutex> g(mu_);
-    cv_.wait(g, [&] { return done_; });
+    while (done_.load(std::memory_order_acquire) == 0) {
+      detail::FutexWait(&done_, 0, /*timeout_us=*/-1);
+    }
     return result_;
   }
   void Complete(Status result) {
-    {
-      std::lock_guard<std::mutex> g(mu_);
-      result_ = std::move(result);
-      done_ = true;
-    }
-    cv_.notify_all();
+    result_ = std::move(result);
+    done_.store(1, std::memory_order_release);
+    detail::FutexWake(&done_);
   }
 
-  // Materialized graph state (owned by the txn context).
-  std::vector<std::unique_ptr<Action>> actions;
-  std::vector<std::unique_ptr<Rvp>> rvps;           // one per phase
+  // --- reference counting (arena recycling) ---
+
+  void Ref(uint32_t n = 1) { refs_.fetch_add(n, std::memory_order_relaxed); }
+  // Defined in action.cc (needs TxnArena).
+  void Unref();
+
+  // Re-arm a recycled (or fresh) context for a new client transaction.
+  void Reset(Database* db, std::unique_ptr<Transaction> txn) {
+    db_ = db;
+    txn_ = std::move(txn);
+    aborted_.store(false, std::memory_order_relaxed);
+    done_.store(0, std::memory_order_relaxed);
+    result_ = Status::OK();
+    abort_reason_ = Status::OK();
+    refs_.store(1, std::memory_order_relaxed);
+  }
+
+  // Materialized graph state (owned by the txn context; capacities survive
+  // recycling).
+  std::vector<Action> actions;                      // phase-major
+  std::vector<Rvp> rvps;                            // one per phase
   std::vector<std::vector<Action*>> phase_actions;  // per phase
+  std::vector<CompletionMsg> completion_msgs;       // one per participant
+  std::vector<Executor*> scratch_owners;            // fan-out scratch
 
   size_t num_phases() const { return phase_actions.size(); }
 
  private:
-  Database* const db_;
+  friend class TxnArena;
+
+  Database* db_ = nullptr;
   std::unique_ptr<Transaction> txn_;
+  TxnArena* home_ = nullptr;  // recycle target; null = standalone
+  std::atomic<uint32_t> refs_{1};
   std::atomic<bool> aborted_{false};
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool done_ = false;
+  mutable std::mutex mu_;  // guards abort_reason_ only
+  std::atomic<uint32_t> done_{0};
   Status result_;
   Status abort_reason_;
+};
+
+// Counted handle to a pooled DoraTxn. Copy = +1 ref; destruction = -1,
+// recycling the context on the last release.
+class DoraTxnRef {
+ public:
+  DoraTxnRef() = default;
+  // Takes ownership of one existing reference.
+  static DoraTxnRef Adopt(DoraTxn* t) {
+    DoraTxnRef r;
+    r.t_ = t;
+    return r;
+  }
+
+  DoraTxnRef(const DoraTxnRef& o) : t_(o.t_) {
+    if (t_ != nullptr) t_->Ref();
+  }
+  DoraTxnRef(DoraTxnRef&& o) noexcept : t_(o.t_) { o.t_ = nullptr; }
+  DoraTxnRef& operator=(const DoraTxnRef& o) {
+    if (this != &o) {
+      if (o.t_ != nullptr) o.t_->Ref();
+      Release();
+      t_ = o.t_;
+    }
+    return *this;
+  }
+  DoraTxnRef& operator=(DoraTxnRef&& o) noexcept {
+    if (this != &o) {
+      Release();
+      t_ = o.t_;
+      o.t_ = nullptr;
+    }
+    return *this;
+  }
+  ~DoraTxnRef() { Release(); }
+
+  DoraTxn* get() const { return t_; }
+  DoraTxn* operator->() const { return t_; }
+  DoraTxn& operator*() const { return *t_; }
+  explicit operator bool() const { return t_ != nullptr; }
+
+ private:
+  void Release() {
+    if (t_ != nullptr) {
+      t_->Unref();
+      t_ = nullptr;
+    }
+  }
+
+  DoraTxn* t_ = nullptr;
 };
 
 }  // namespace dora

@@ -30,6 +30,12 @@ void DoraEngine::RegisterTable(TableId table, uint64_t key_space,
 void DoraEngine::Start() {
   assert(!started_);
   started_ = true;
+  // One transaction-context arena per executor (at least one): BeginTxn
+  // shards clients across them, FinishTxn's last release recycles.
+  const uint32_t n_arenas = std::max(1u, next_global_index_);
+  while (arenas_.size() < n_arenas) {
+    arenas_.push_back(std::make_unique<TxnArena>());
+  }
   if (options_.hold_table_locks) {
     // §4.1.3: executors implicitly hold a table IX lock across
     // transactions — modeled by one long-lived system transaction, so
@@ -124,54 +130,62 @@ void DoraEngine::AckLoop(AckShard* shard) {
         committed_.fetch_add(1, std::memory_order_relaxed);
         pipelined_.fetch_add(1, std::memory_order_relaxed);
         ack.dtxn->Complete(s);
+        ack.dtxn->Unref();  // ack queue's reference
       }
     }
   }
 }
 
-std::shared_ptr<DoraTxn> DoraEngine::BeginTxn() {
-  auto dtxn = std::make_shared<DoraTxn>(db_, db_->Begin());
-  {
-    std::lock_guard<std::mutex> g(reg_mu_);
-    live_[dtxn.get()] = dtxn;
+DoraTxnRef DoraEngine::BeginTxn() {
+  thread_local uint64_t slot = ~uint64_t{0};
+  if (slot == ~uint64_t{0}) {
+    slot = next_client_slot_.fetch_add(1, std::memory_order_relaxed);
   }
-  return dtxn;
+  TxnArena* arena = arenas_[slot % arenas_.size()].get();
+  DoraTxn* t = arena->Acquire();
+  t->Reset(db_, db_->Begin());
+  return DoraTxnRef::Adopt(t);
 }
 
-Status DoraEngine::Run(const std::shared_ptr<DoraTxn>& dtxn,
-                       FlowGraph&& graph) {
-  // Materialize the flow graph into actions + RVPs owned by the txn.
+Status DoraEngine::Run(const DoraTxnRef& dtxn, FlowGraph&& graph) {
+  DoraTxn* t = dtxn.get();
+  // Materialize the flow graph into actions + RVPs owned by the txn
+  // context (all storage capacity-recycled across transactions).
   auto& phases = graph.phases();
-  if (phases.empty() || graph.num_actions() == 0) {
-    const Status s = db_->Commit(dtxn->txn());
-    {
-      std::lock_guard<std::mutex> g(reg_mu_);
-      live_.erase(dtxn.get());
-    }
-    dtxn->Complete(s);
+  const size_t total = graph.num_actions();
+  if (phases.empty() || total == 0) {
+    const Status s = db_->Commit(t->txn());
+    t->Complete(s);
     return s;
   }
-  dtxn->phase_actions.resize(phases.size());
+  t->actions.clear();
+  t->actions.resize(total);
+  t->rvps.clear();
+  t->rvps.resize(phases.size());
+  t->phase_actions.resize(phases.size());
+  size_t idx = 0;
   for (size_t p = 0; p < phases.size(); ++p) {
-    auto rvp = std::make_unique<Rvp>();
-    rvp->remaining.store(static_cast<int32_t>(phases[p].size()),
-                         std::memory_order_relaxed);
-    dtxn->rvps.push_back(std::move(rvp));
+    t->rvps[p].remaining.store(static_cast<int32_t>(phases[p].size()),
+                               std::memory_order_relaxed);
+    auto& pa = t->phase_actions[p];
+    pa.clear();
     for (auto& spec : phases[p]) {
-      auto action = std::make_unique<Action>();
-      action->dtxn = dtxn.get();
-      action->table = spec.table;
-      action->routing_value = spec.routing_value;
-      action->whole_dataset = spec.whole_dataset;
-      action->mode = spec.mode;
-      action->body = std::move(spec.body);
-      action->phase = p;
-      dtxn->phase_actions[p].push_back(action.get());
-      dtxn->actions.push_back(std::move(action));
+      Action& a = t->actions[idx++];
+      a.dtxn = t;
+      a.table = spec.table;
+      a.routing_value = spec.routing_value;
+      a.whole_dataset = spec.whole_dataset;
+      a.mode = spec.mode;
+      a.body = std::move(spec.body);
+      a.phase = p;
+      a.owner = nullptr;
+      a.ticket = 0;
+      a.parked_at = 0;
+      pa.push_back(&a);
     }
   }
-  DispatchPhase(dtxn.get(), 0);
-  return dtxn->Wait();
+  DispatchPhase(t, 0);
+  return t->Wait();
 }
 
 uint32_t DoraEngine::RouteIndex(TableId table, uint64_t routing_value) const {
@@ -214,62 +228,65 @@ uint64_t DoraEngine::key_space_of(TableId table) const {
 void DoraEngine::DispatchPhase(DoraTxn* dtxn, size_t phase) {
   ScopedTimeClass timer(TimeClass::kDoraQueue);
   auto& actions = dtxn->phase_actions[phase];
+  Executor* first = nullptr;
+  bool multi = false;
   for (Action* a : actions) {
     a->owner = a->whole_dataset
                    ? ExecutorAt(a->table,
                                 static_cast<uint32_t>(a->routing_value))
                    : RouteToExecutor(a->table, a->routing_value);
+    if (first == nullptr) {
+      first = a->owner;
+    } else if (a->owner != first) {
+      multi = true;
+    }
   }
-  // Atomic multi-queue enqueue (§4.2.3): latch every target queue in the
-  // strict global executor order, publish all actions, then unlatch. Two
-  // transactions with the same flow graph can therefore never interleave
-  // their submissions, which (with FIFO queues and commit-held local locks)
-  // rules out deadlocks between them.
-  std::vector<Executor*> targets;
-  for (Action* a : actions) targets.push_back(a->owner);
-  std::sort(targets.begin(), targets.end(),
-            [](const Executor* a, const Executor* b) {
-              return a->global_index() < b->global_index();
-            });
-  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
-  for (Executor* e : targets) e->queue_mutex().lock();
-  for (Action* a : actions) a->owner->EnqueueIncomingLocked(a);
-  for (auto it = targets.rbegin(); it != targets.rend(); ++it) {
-    (*it)->queue_mutex().unlock();
+  // §4.2.3 without queue latches: a phase fanning out to several executors
+  // takes one global ticket, enqueues everywhere, then publishes. The
+  // executors admit ticketed actions in ticket order once the published
+  // horizon covers them (see Executor::ProcessInbox), so two transactions
+  // with overlapping executor sets can never interleave their submissions
+  // — which, with FIFO admission and commit-held local locks, rules out
+  // deadlocks between them. Single-executor phases (the common case) skip
+  // the ticket entirely.
+  const uint64_t ticket = multi ? tickets_.Take() : 0;
+  for (Action* a : actions) {
+    a->ticket = ticket;
+    a->owner->inbox().Push(a);
   }
-  for (Executor* e : targets) e->Notify();
+  if (multi) tickets_.Publish(ticket);
 }
 
 void DoraEngine::Redispatch(Action* a) {
   ScopedTimeClass timer(TimeClass::kDoraQueue);
   Executor* owner = RouteToExecutor(a->table, a->routing_value);
   a->owner = owner;
-  {
-    std::lock_guard<std::mutex> g(owner->queue_mutex());
-    owner->EnqueueIncomingLocked(a);
-  }
-  owner->Notify();
+  // The bounce is a single enqueue: no ticket needed (same as the mutex
+  // protocol, which re-latched only the new owner's queue).
+  a->ticket = 0;
+  owner->inbox().Push(a);
 }
 
-std::shared_ptr<DoraTxn> DoraEngine::TakeLive(DoraTxn* dtxn) {
-  std::lock_guard<std::mutex> g(reg_mu_);
-  auto it = live_.find(dtxn);
-  if (it == live_.end()) return nullptr;
-  std::shared_ptr<DoraTxn> sp = std::move(it->second);
-  live_.erase(it);
-  return sp;
-}
-
-void DoraEngine::FanOutCompletions(const std::shared_ptr<DoraTxn>& sp) {
-  // The shared_ptr keeps the txn context alive until the last completion
-  // message is drained.
-  std::vector<Executor*> owners;
-  for (const auto& a : sp->actions) {
-    if (a->owner != nullptr) owners.push_back(a->owner);
+void DoraEngine::FanOutCompletions(DoraTxn* dtxn) {
+  auto& owners = dtxn->scratch_owners;
+  owners.clear();
+  for (const auto& a : dtxn->actions) {
+    if (a.owner != nullptr) owners.push_back(a.owner);
   }
   std::sort(owners.begin(), owners.end());
   owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
-  for (Executor* e : owners) e->EnqueueCompleted(sp);
+  if (owners.empty()) return;
+  // Messages are embedded in the context; size the vector BEFORE the first
+  // push (no reallocation while nodes are enqueued) and take one reference
+  // per message — the context stays alive until the last executor drains.
+  dtxn->completion_msgs.clear();
+  dtxn->completion_msgs.resize(owners.size());
+  dtxn->Ref(static_cast<uint32_t>(owners.size()));
+  for (size_t i = 0; i < owners.size(); ++i) {
+    CompletionMsg& m = dtxn->completion_msgs[i];
+    m.dtxn = dtxn;
+    owners[i]->inbox().Push(&m);
+  }
 }
 
 void DoraEngine::FinishTxn(DoraTxn* dtxn) {
@@ -281,40 +298,32 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     // WaitFlushed. The client is completed by the ack daemon once the
     // commit GSN is covered by the global stable horizon.
     const Lsn commit_gsn = db_->CommitAsync(dtxn->txn());
-    std::shared_ptr<DoraTxn> sp = TakeLive(dtxn);
-    if (sp != nullptr) {
-      FanOutCompletions(sp);  // early lock release, pre-durability
-      // Inline-ack fast path: when the global flush horizon already covers
-      // the commit GSN (synchronous log, or a flusher won the race), the
-      // commit is durable right now — finalize and complete the client on
-      // this executor instead of round-tripping through the ack daemon.
-      if (db_->log_manager()->flushed_lsn() >= commit_gsn) {
-        const Status s = db_->CommitFinalize(sp->txn());
-        committed_.fetch_add(1, std::memory_order_relaxed);
-        pipelined_.fetch_add(1, std::memory_order_relaxed);
-        acked_inline_.fetch_add(1, std::memory_order_relaxed);
-        sp->Complete(s);
-        return;
-      }
-      // The commit record went to this thread's bound partition; its ack
-      // queue lives at slot partition/shards of shard partition%shards.
-      const uint32_t partition = db_->log_manager()->CurrentPartition() %
-                                 db_->log_manager()->num_partitions();
-      const uint32_t shards = static_cast<uint32_t>(ack_shards_.size());
-      AckShard* shard = ack_shards_[partition % shards].get();
-      {
-        std::lock_guard<std::mutex> g(shard->mu);
-        shard->queues[partition / shards].second.push_back(
-            CommitAck{std::move(sp), commit_gsn});
-      }
-      shard->cv.notify_one();
+    FanOutCompletions(dtxn);  // early lock release, pre-durability
+    // Inline-ack fast path: when the global flush horizon already covers
+    // the commit GSN (synchronous log, or a flusher won the race), the
+    // commit is durable right now — finalize and complete the client on
+    // this executor instead of round-tripping through the ack daemon.
+    if (db_->log_manager()->flushed_lsn() >= commit_gsn) {
+      const Status s = db_->CommitFinalize(dtxn->txn());
+      committed_.fetch_add(1, std::memory_order_relaxed);
+      pipelined_.fetch_add(1, std::memory_order_relaxed);
+      acked_inline_.fetch_add(1, std::memory_order_relaxed);
+      dtxn->Complete(s);
       return;
     }
-    // Registry miss (never expected): fall through to a synchronous finish.
-    db_->log_manager()->WaitFlushed(commit_gsn);
-    const Status s = db_->CommitFinalize(dtxn->txn());
-    committed_.fetch_add(1, std::memory_order_relaxed);
-    dtxn->Complete(s);
+    dtxn->Ref();  // the ack queue's reference
+    // The commit record went to this thread's bound partition; its ack
+    // queue lives at slot partition/shards of shard partition%shards.
+    const uint32_t partition = db_->log_manager()->CurrentPartition() %
+                               db_->log_manager()->num_partitions();
+    const uint32_t shards = static_cast<uint32_t>(ack_shards_.size());
+    AckShard* shard = ack_shards_[partition % shards].get();
+    {
+      std::lock_guard<std::mutex> g(shard->mu);
+      shard->queues[partition / shards].second.push_back(
+          CommitAck{dtxn, commit_gsn});
+    }
+    shard->cv.notify_one();
     return;
   }
 
@@ -330,8 +339,7 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
   }
 
   // Completion fan-out (§A.1 steps 10-12) after commit/abort completes.
-  std::shared_ptr<DoraTxn> sp = TakeLive(dtxn);
-  if (sp != nullptr) FanOutCompletions(sp);
+  FanOutCompletions(dtxn);
   dtxn->Complete(std::move(final_status));
 }
 
@@ -366,6 +374,24 @@ Status DoraEngine::Rebalance(TableId table,
                             return Status::OK();
                           });
   return Run(dtxn, std::move(g));
+}
+
+DoraEngine::InboxStats DoraEngine::CollectInboxStats() const {
+  InboxStats s;
+  for (const auto& [table, group] : tables_) {
+    for (const auto& e : group->executors) {
+      s.batches += e->inbox_batches();
+      s.items += e->inbox_items();
+      s.wakeups += e->inbox_wakeups();
+      s.actions += e->actions_executed();
+    }
+  }
+  s.tickets = tickets_.issued();
+  for (const auto& a : arenas_) {
+    s.arena_allocs += a->allocs();
+    s.arena_recycles += a->recycles();
+  }
+  return s;
 }
 
 std::vector<Executor*> DoraEngine::AllExecutors() const {

@@ -6,6 +6,12 @@
 // conventional storage manager (engine::Database), exactly as the paper's
 // prototype is layered over Shore-MT (§4.3).
 //
+// Messaging fabric: each executor owns a lock-free MPSC inbox
+// (util/mpsc_queue.h) carrying actions and completion messages alike; the
+// §4.2.3 atomic multi-queue enqueue is preserved by global dispatch
+// tickets (dora/ticket.h) instead of ordered queue latches. Transaction
+// contexts are pooled in per-executor arenas (dora/arena.h).
+//
 // Usage:
 //   DoraEngine engine(&db, options);
 //   engine.RegisterTable(warehouse_tid, /*key_space=*/W, /*executors=*/2);
@@ -18,6 +24,7 @@
 #ifndef DORADB_DORA_DORA_ENGINE_H_
 #define DORADB_DORA_DORA_ENGINE_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -27,8 +34,10 @@
 #include <vector>
 
 #include "dora/action.h"
+#include "dora/arena.h"
 #include "dora/executor.h"
 #include "dora/routing.h"
+#include "dora/ticket.h"
 
 namespace doradb {
 namespace dora {
@@ -36,7 +45,12 @@ namespace dora {
 class DoraEngine {
  public:
   struct Options {
-    bool bind_cores = false;   // pin executors round-robin to cores
+    // Pin each executor to the core matching its global index (which is
+    // also its log-partition binding) — the first step of the NUMA
+    // placement roadmap item: one partition's locks, WAL, and working set
+    // stay on one context. Leave off on hosts with fewer cores than
+    // executors + clients.
+    bool pin_threads = false;
     bool hold_table_locks = true;  // executors hold table IX across txns
     // Parked actions older than this are expired and their transactions
     // aborted with kDeadlock — the local-lock deadlock resolution the
@@ -53,6 +67,35 @@ class DoraEngine {
     // horizon: a dependent txn's commit always carries a larger GSN, so it
     // can never be acknowledged before the txn it read from.
     bool pipelined_commit = false;
+  };
+
+  // Inbox / arena / ticket counters, aggregated over all executors.
+  struct InboxStats {
+    uint64_t batches = 0;        // non-empty drains
+    uint64_t items = 0;          // messages those drains carried
+    uint64_t wakeups = 0;        // producer-side futex wakes
+    uint64_t actions = 0;        // actions executed
+    uint64_t tickets = 0;        // multi-queue dispatches issued
+    uint64_t arena_allocs = 0;   // DoraTxn contexts ever constructed
+    uint64_t arena_recycles = 0; // contexts returned for reuse
+
+    InboxStats operator-(const InboxStats& rhs) const {
+      InboxStats d;
+      d.batches = batches - rhs.batches;
+      d.items = items - rhs.items;
+      d.wakeups = wakeups - rhs.wakeups;
+      d.actions = actions - rhs.actions;
+      d.tickets = tickets - rhs.tickets;
+      d.arena_allocs = arena_allocs - rhs.arena_allocs;
+      d.arena_recycles = arena_recycles - rhs.arena_recycles;
+      return d;
+    }
+    double actions_per_drain() const {
+      return batches == 0 ? 0.0 : static_cast<double>(items) / batches;
+    }
+    double wakeups_per_action() const {
+      return actions == 0 ? 0.0 : static_cast<double>(wakeups) / actions;
+    }
   };
 
   DoraEngine(Database* db, Options options);
@@ -73,11 +116,11 @@ class DoraEngine {
 
   // --- transaction execution (dispatcher side) ---
 
-  std::shared_ptr<DoraTxn> BeginTxn();
+  DoraTxnRef BeginTxn();
 
-  // Materialize the graph, dispatch phase 0 (atomic ordered enqueue), wait
+  // Materialize the graph, dispatch phase 0 (ticket-ordered enqueue), wait
   // for the terminal RVP. Returns the transaction's final status.
-  Status Run(const std::shared_ptr<DoraTxn>& dtxn, FlowGraph&& graph);
+  Status Run(const DoraTxnRef& dtxn, FlowGraph&& graph);
 
   // --- routing ---
 
@@ -93,11 +136,13 @@ class DoraEngine {
   Status Rebalance(TableId table, std::shared_ptr<const RoutingRule> rule);
 
   const Options& options() const { return options_; }
+  TicketLine& tickets() { return tickets_; }
 
   // --- internal (executor callbacks) ---
 
-  // Enqueue all actions of `phase` atomically: latch target queues in
-  // global executor order, publish, then notify (§4.2.3).
+  // Enqueue all actions of `phase`. Phases targeting more than one
+  // executor are stamped with a global ticket and published afterwards
+  // (§4.2.3 ordering without queue latches).
   void DispatchPhase(DoraTxn* dtxn, size_t phase);
 
   // Re-route a stale-routed action to its current owner (after a routing
@@ -124,6 +169,7 @@ class DoraEngine {
   uint64_t txns_acked_inline() const {
     return acked_inline_.load(std::memory_order_relaxed);
   }
+  InboxStats CollectInboxStats() const;
   std::vector<Executor*> AllExecutors() const;
 
  private:
@@ -135,7 +181,7 @@ class DoraEngine {
   // count is capped at the core count so constrained hosts get one daemon
   // sweeping every queue instead of an oversubscribed thread herd.
   struct CommitAck {
-    std::shared_ptr<DoraTxn> dtxn;
+    DoraTxn* dtxn = nullptr;  // carries one reference
     Lsn gsn = kInvalidLsn;
   };
   struct AckShard {
@@ -148,11 +194,10 @@ class DoraEngine {
   };
 
   void AckLoop(AckShard* shard);
-  // Remove the txn from the live registry, returning its owning pointer.
-  std::shared_ptr<DoraTxn> TakeLive(DoraTxn* dtxn);
   // Completion fan-out (§A.1 steps 10-12): hand the txn back to every
   // executor that ran one of its actions so they release local locks.
-  void FanOutCompletions(const std::shared_ptr<DoraTxn>& sp);
+  // Each message carries one reference on the context.
+  void FanOutCompletions(DoraTxn* dtxn);
 
   struct TableGroup {
     TableId table;
@@ -173,10 +218,12 @@ class DoraEngine {
   // holds an intent exclusive (IX) lock for the whole table").
   std::unique_ptr<Transaction> system_txn_;
 
-  // Registry keeping DoraTxns alive while completion messages reference
-  // them (guarded by reg_mu_).
-  std::mutex reg_mu_;
-  std::unordered_map<DoraTxn*, std::shared_ptr<DoraTxn>> live_;
+  TicketLine tickets_;
+
+  // Per-executor transaction-context arenas; clients pick one with a
+  // sticky thread-local slot.
+  std::vector<std::unique_ptr<TxnArena>> arenas_;
+  std::atomic<uint64_t> next_client_slot_{0};
 
   std::vector<std::unique_ptr<AckShard>> ack_shards_;
 

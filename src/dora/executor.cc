@@ -1,6 +1,9 @@
 #include "dora/executor.h"
 
+#include <sched.h>
+
 #include "dora/dora_engine.h"
+#include "dora/ticket.h"
 #include "util/thread_pool.h"
 
 namespace doradb {
@@ -19,89 +22,173 @@ void Executor::Start() {
 }
 
 void Executor::Stop() {
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    stop_ = true;
-  }
-  cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
-}
-
-void Executor::EnqueueCompleted(std::shared_ptr<DoraTxn> dtxn) {
-  {
-    std::lock_guard<std::mutex> g(mu_);
-    completed_.push_back(std::move(dtxn));
-  }
-  cv_.notify_one();
+  if (!thread_.joinable()) return;
+  inbox_.Push(&stop_msg_);
+  thread_.join();
 }
 
 void Executor::Loop() {
-  if (engine_->options().bind_cores) BindToCore(global_index_);
+  // First step of the NUMA roadmap item: partition-index affinity. The
+  // executor, its log partition, and its core all share global_index_, so
+  // an action's locks, WAL appends, and working set stay on one context.
+  if (engine_->options().pin_threads) BindToCore(global_index_);
   // Partitioned WAL affinity: this executor's appends (and its
   // transactions' commit records) go to a private log partition.
   db_->log_manager()->BindThisThread(global_index_);
   const uint64_t timeout_cycles = static_cast<uint64_t>(
       engine_->options().local_wait_timeout_us * 1000.0 *
       Cycles::PerNanosecond());
-  std::vector<Action*> runnable;
-  std::deque<Action*> in;
-  std::deque<std::shared_ptr<DoraTxn>> comp;
   for (;;) {
-    in.clear();
-    comp.clear();
+    MpscNode* chain;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      const auto pred = [&] {
-        return stop_ || !incoming_.empty() || !completed_.empty();
-      };
-      if (locks_.num_parked() == 0) {
-        cv_.wait(lk, pred);
-      } else {
-        // Parked actions exist: wake periodically to expire stale waits
-        // (cross-graph local-lock deadlock resolution).
-        cv_.wait_for(lk, std::chrono::milliseconds(20), pred);
-      }
-      if (stop_ && incoming_.empty() && completed_.empty()) return;
-      in.swap(incoming_);
-      comp.swap(completed_);
+      ScopedTimeClass timer(TimeClass::kDoraQueue);
+      chain = inbox_.TryDrain();
     }
-    if (locks_.num_parked() != 0) {
-      std::vector<Action*> expired;
-      runnable.clear();
-      const uint64_t now = Cycles::Now();
-      locks_.CollectExpired(now > timeout_cycles ? now - timeout_cycles : 0,
-                            &expired, &runnable);
-      for (Action* a : expired) {
-        a->dtxn->MarkAborted(
-            Status::Deadlock("local lock wait expired (§4.2.3 detector)"));
-        actions_executed_.fetch_add(1, std::memory_order_relaxed);
-        ReportToRvp(a);  // participates in RVP accounting, body skipped
+    if (locks_.num_parked() != 0) ExpireStaleParked(timeout_cycles);
+    const bool did = ProcessInbox(chain);
+    if (did) continue;
+    if (!deferred_.empty()) {
+      // Waiting on the published-ticket horizon: the owning dispatcher is
+      // mid-enqueue (a nanosecond-scale window). Yield so it can finish —
+      // spinning here would starve it on saturated or single-core hosts.
+      sched_yield();
+      continue;
+    }
+    if (stop_seen_) return;
+    // Nothing runnable anywhere: park. With parked actions present, wake
+    // periodically to expire stale waits (cross-graph local-lock deadlock
+    // resolution); otherwise sleep until a producer pushes.
+    chain = inbox_.Park(locks_.num_parked() != 0 ? 20000 : -1);
+    if (chain != nullptr) ProcessInbox(chain);
+  }
+}
+
+void Executor::Classify(MpscNode* chain) {
+  uint64_t n = 0;
+  while (chain != nullptr) {
+    MpscNode* next = chain->next;
+    auto* entry = static_cast<InboxEntry*>(chain);
+    ++n;
+    switch (entry->kind) {
+      case InboxEntry::Kind::kAction: {
+        Action* a = static_cast<Action*>(entry);
+        if (a->ticket == 0) {
+          ready_.push_back(a);
+        } else {
+          // Insertion keeps deferred_ sorted by ticket; strict comparison
+          // preserves arrival order among equal tickets (same dispatch).
+          deferred_.push_back(a);
+          size_t i = deferred_.size() - 1;
+          while (i > 0 && deferred_[i - 1]->ticket > a->ticket) {
+            deferred_[i] = deferred_[i - 1];
+            --i;
+          }
+          deferred_[i] = a;
+        }
+        break;
       }
-      for (Action* a : runnable) ExecuteGranted(a);
+      case InboxEntry::Kind::kCompletion:
+        comps_.push_back(static_cast<CompletionMsg*>(entry)->dtxn);
+        break;
+      case InboxEntry::Kind::kStop:
+        stop_seen_ = true;
+        break;
+    }
+    chain = next;
+  }
+  if (n != 0) {
+    batches_.fetch_add(1, std::memory_order_relaxed);
+    items_.fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+bool Executor::ProcessInbox(MpscNode* chain) {
+  bool did = chain != nullptr;
+  for (;;) {
+    if (chain != nullptr) {
+      ScopedTimeClass timer(TimeClass::kDoraQueue);
+      Classify(chain);
+      chain = nullptr;
     }
     // Completions first (paper steps 11-12): release the transaction's
     // local locks and serially execute any actions that become runnable.
-    for (auto& dtxn : comp) {
-      runnable.clear();
-      locks_.ReleaseAll(dtxn.get(), &runnable);
-      for (Action* a : runnable) ExecuteGranted(a);
-    }
-    // Then incoming actions, FIFO.
-    for (Action* a : in) {
-      load_counter_.fetch_add(1, std::memory_order_relaxed);
-      // A routing-rule change may have happened after this action was
-      // dispatched; bounce stale-routed actions to the current owner.
-      if (!a->whole_dataset &&
-          engine_->RouteToExecutor(a->table, a->routing_value) != this) {
-        engine_->Redispatch(a);
-        continue;
+    if (!comps_.empty()) {
+      did = true;
+      for (size_t i = 0; i < comps_.size(); ++i) {
+        DoraTxn* t = comps_[i];
+        runnable_.clear();
+        locks_.ReleaseAll(t, &runnable_);
+        for (Action* a : runnable_) ExecuteGranted(a);
+        t->Unref();  // completion message's reference
       }
-      if (locks_.TryAcquire(a)) {
-        ExecuteGranted(a);
-      }
-      // else parked: a Release will hand it back via `runnable`.
+      comps_.clear();
     }
+    // Then unticketed (single-queue) actions, FIFO.
+    if (!ready_.empty()) {
+      did = true;
+      for (size_t i = 0; i < ready_.size(); ++i) AdmitAction(ready_[i]);
+      ready_.clear();
+    }
+    if (deferred_.empty()) return did;
+    // Ticket-ordered admission (§4.2.3 without latches): an action with
+    // ticket t may be admitted only after (a) observing the published
+    // horizon at >= t and (b) draining the inbox once more AFTER that
+    // observation. Every multi-queue dispatch with a smaller ticket was
+    // fully enqueued before the horizon reached t, so that drain provably
+    // holds any smaller-ticket action bound for this executor — admission
+    // order here therefore matches the global ticket order at every
+    // executor, which is exactly what the ordered-latch protocol enforced.
+    const uint64_t h = engine_->tickets().horizon();
+    if (deferred_.front()->ticket > h) return did;
+    {
+      ScopedTimeClass timer(TimeClass::kDoraQueue);
+      Classify(inbox_.TryDrain());
+    }
+    // Completions that arrived in that drain must release before admitted
+    // actions acquire; loop back if any.
+    if (!comps_.empty() || !ready_.empty()) {
+      // Admit the covered prefix after the next pass's completion run.
+      // (Re-reading the horizon then only ever admits more.)
+      continue;
+    }
+    size_t admit = 0;
+    while (admit < deferred_.size() && deferred_[admit]->ticket <= h) {
+      ++admit;
+    }
+    for (size_t i = 0; i < admit; ++i) AdmitAction(deferred_[i]);
+    deferred_.erase(deferred_.begin(), deferred_.begin() + admit);
+    did = true;
   }
+}
+
+void Executor::AdmitAction(Action* a) {
+  load_counter_.fetch_add(1, std::memory_order_relaxed);
+  // A routing-rule change may have happened after this action was
+  // dispatched; bounce stale-routed actions to the current owner.
+  if (!a->whole_dataset &&
+      engine_->RouteToExecutor(a->table, a->routing_value) != this) {
+    engine_->Redispatch(a);
+    return;
+  }
+  if (locks_.TryAcquire(a)) {
+    ExecuteGranted(a);
+  }
+  // else parked: a Release will hand it back via `runnable`.
+}
+
+void Executor::ExpireStaleParked(uint64_t timeout_cycles) {
+  std::vector<Action*> expired;
+  runnable_.clear();
+  const uint64_t now = Cycles::Now();
+  locks_.CollectExpired(now > timeout_cycles ? now - timeout_cycles : 0,
+                        &expired, &runnable_);
+  for (Action* a : expired) {
+    a->dtxn->MarkAborted(
+        Status::Deadlock("local lock wait expired (§4.2.3 detector)"));
+    actions_executed_.fetch_add(1, std::memory_order_relaxed);
+    ReportToRvp(a);  // participates in RVP accounting, body skipped
+  }
+  for (Action* a : runnable_) ExecuteGranted(a);
 }
 
 void Executor::ExecuteGranted(Action* a) {
@@ -120,9 +207,9 @@ void Executor::ExecuteGranted(Action* a) {
 
 void Executor::ReportToRvp(Action* a) {
   DoraTxn* dtxn = a->dtxn;
-  Rvp* rvp = dtxn->rvps[a->phase].get();
+  Rvp& rvp = dtxn->rvps[a->phase];
   ScopedTimeClass timer(TimeClass::kDoraRvp);
-  if (rvp->remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  if (rvp.remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
   // This executor zeroed the RVP: it initiates the next phase, or the
   // commit/abort if this was the terminal RVP (or the txn aborted).
   const bool terminal = a->phase + 1 >= dtxn->num_phases();

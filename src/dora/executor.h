@@ -1,21 +1,30 @@
 // Executor: the worker thread bound to one or more datasets of a table
-// (paper §4.1.3). It owns three structures: an incoming action queue, a
-// completed-transaction queue, and a thread-local lock table. Actions are
-// served FIFO; conflicting actions park in the local lock table and resume
-// when the blocking transaction's completion message releases its locks.
+// (paper §4.1.3). It owns one lock-free MPSC inbox carrying both incoming
+// actions and completion messages, and a thread-local lock table. Actions
+// are served FIFO; conflicting actions park in the local lock table and
+// resume when the blocking transaction's completion message releases its
+// locks.
+//
+// Inbox protocol: producers (dispatchers and other executors) push with
+// one CAS; this thread drains the whole list per iteration and parks on a
+// futex only when a drain comes up empty — so an executor wakes at most
+// once per batch and a push onto a busy executor costs no syscall.
+// Multi-queue dispatches carry a global ticket (dora/ticket.h); drained
+// ticketed actions are deferred until the published horizon covers them
+// and then admitted in ticket order, preserving the §4.2.3 atomic-enqueue
+// guarantee without latching any queue.
 
 #ifndef DORADB_DORA_EXECUTOR_H_
 #define DORADB_DORA_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
-#include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
+#include <vector>
 
 #include "dora/action.h"
 #include "dora/local_lock_table.h"
+#include "util/mpsc_queue.h"
 
 namespace doradb {
 namespace dora {
@@ -24,9 +33,9 @@ class DoraEngine;
 
 class Executor {
  public:
-  // `global_index` defines the total order used for atomic multi-queue
-  // enqueues (§4.2.3 footnote: "There is a strict ordering between
-  // executors. The threads acquire the latches in that order").
+  // `global_index` defines the executor's position in the engine-wide
+  // order: its log-partition binding, its pinned core (Options::
+  // pin_threads), and its arena all key off it.
   Executor(DoraEngine* engine, Database* db, TableId table,
            uint32_t index_in_table, uint32_t global_index);
 
@@ -37,15 +46,8 @@ class Executor {
   uint32_t index_in_table() const { return index_in_table_; }
   uint32_t global_index() const { return global_index_; }
 
-  // --- queue interface (incoming latched externally for atomic enqueue) ---
-
-  std::mutex& queue_mutex() { return mu_; }
-  // Requires queue_mutex() held.
-  void EnqueueIncomingLocked(Action* a) { incoming_.push_back(a); }
-  void Notify() { cv_.notify_one(); }
-
-  // Completion message (§4.1.3 steps 10-12): release dtxn's local locks.
-  void EnqueueCompleted(std::shared_ptr<DoraTxn> dtxn);
+  // Lock-free inbox; push Action / CompletionMsg / StopMsg nodes.
+  MpscQueue& inbox() { return inbox_; }
 
   // --- stats ---
   uint64_t actions_executed() const {
@@ -53,10 +55,15 @@ class Executor {
   }
   uint64_t local_lock_acquires() const { return locks_.acquires(); }
   uint64_t local_lock_conflicts() const { return locks_.conflicts(); }
-  size_t queue_depth() const {
-    std::lock_guard<std::mutex> g(mu_);
-    return incoming_.size();
+  // Non-empty inbox drains and the messages they carried.
+  uint64_t inbox_batches() const {
+    return batches_.load(std::memory_order_relaxed);
   }
+  uint64_t inbox_items() const {
+    return items_.load(std::memory_order_relaxed);
+  }
+  // Producer-side futex wakes (pushes that found this executor parked).
+  uint64_t inbox_wakeups() const { return inbox_.wakeups(); }
   // Load metric for the resource manager.
   uint64_t load_counter() const {
     return load_counter_.load(std::memory_order_relaxed);
@@ -66,10 +73,18 @@ class Executor {
   friend class DoraEngine;
 
   void Loop();
+  // Split a drained chain into completions / ready / deferred.
+  void Classify(MpscNode* chain);
+  // Completions first (paper steps 11-12), then unticketed actions FIFO,
+  // then the ticket-ordered admission loop. Returns true if any work ran.
+  bool ProcessInbox(MpscNode* chain);
+  // Admit one action: bounce if stale-routed, else local-lock + run.
+  void AdmitAction(Action* a);
+  // Local-lock deadlock resolution (§4.2.3): abort over-age parked waits.
+  void ExpireStaleParked(uint64_t timeout_cycles);
   // Run the body (unless the txn already aborted) and report to the RVP.
   void ExecuteGranted(Action* a);
   void ReportToRvp(Action* a);
-  void FinishTxn(DoraTxn* dtxn);
 
   DoraEngine* const engine_;
   Database* const db_;
@@ -77,17 +92,23 @@ class Executor {
   const uint32_t index_in_table_;
   const uint32_t global_index_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Action*> incoming_;
-  std::deque<std::shared_ptr<DoraTxn>> completed_;
-  bool stop_ = false;
+  MpscQueue inbox_;
+  StopMsg stop_msg_;
+
+  // Consumer-thread state (touched only by Loop()).
+  bool stop_seen_ = false;
+  std::vector<DoraTxn*> comps_;
+  std::vector<Action*> ready_;
+  std::vector<Action*> deferred_;  // ticketed, sorted by ticket (stable)
+  std::vector<Action*> runnable_;
 
   LocalLockTable locks_;  // executor-private: no latching
 
   std::thread thread_;
   std::atomic<uint64_t> actions_executed_{0};
   std::atomic<uint64_t> load_counter_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> items_{0};
 };
 
 }  // namespace dora

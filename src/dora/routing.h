@@ -56,26 +56,35 @@ struct RoutingRule {
                                                     uint32_t executors);
 };
 
-// Mutable holder of the current rule for one table.
+// Mutable holder of the current rule for one table. Route() — called once
+// per action at dispatch and once more at admission (stale-route check) —
+// is a single atomic pointer load; the mutex is paid only by Install and
+// by snapshot readers. Installed rules are retained for the table's
+// lifetime so a reader's raw pointer can never dangle: rules are tiny and
+// rebalances are rare, so retention is bounded and cheap.
 class RoutingTable {
  public:
   RoutingTable() = default;
 
   void Install(std::shared_ptr<const RoutingRule> rule) {
     std::lock_guard<std::mutex> g(mu_);
-    rule_ = std::move(rule);
+    current_.store(rule.get(), std::memory_order_release);
+    retained_.push_back(std::move(rule));
   }
 
   std::shared_ptr<const RoutingRule> Current() const {
     std::lock_guard<std::mutex> g(mu_);
-    return rule_;
+    return retained_.empty() ? nullptr : retained_.back();
   }
 
-  uint32_t Route(uint64_t value) const { return Current()->Route(value); }
+  uint32_t Route(uint64_t value) const {
+    return current_.load(std::memory_order_acquire)->Route(value);
+  }
 
  private:
+  std::atomic<const RoutingRule*> current_{nullptr};
   mutable std::mutex mu_;
-  std::shared_ptr<const RoutingRule> rule_;
+  std::vector<std::shared_ptr<const RoutingRule>> retained_;
 };
 
 }  // namespace dora

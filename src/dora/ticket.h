@@ -1,0 +1,123 @@
+// Global dispatch tickets: the lock-free replacement for the paper's
+// §4.2.3 atomic multi-queue enqueue.
+//
+// With mutex-guarded inboxes, a dispatcher latched every target queue in
+// global executor order before publishing a phase's actions, so two
+// transactions with overlapping executor sets could never interleave their
+// submissions — the property that (with FIFO queues and commit-held local
+// locks) makes same-flow-graph transactions deadlock-free. Lock-free
+// inboxes lose that atomicity: T1's enqueue to executor A can land before
+// T2's while T2's enqueue to executor B lands before T1's, and the two
+// transactions then block each other in a cycle.
+//
+// Tickets restore a strict total order without any latch:
+//  * A dispatcher about to enqueue a phase to MORE THAN ONE executor takes
+//    a ticket t (one fetch_add), stamps every action of the phase with it,
+//    enqueues them all, and then PUBLISHES t.
+//  * The published horizon H is the largest ticket such that every ticket
+//    <= H is published. Since enqueues happen before publication, H >= t
+//    implies every action of every multi-queue dispatch with ticket <= t
+//    is already in its target inbox.
+//  * An executor defers a drained action with ticket t until it observes
+//    H >= t, then drains its inbox ONCE MORE and admits deferred actions
+//    in ticket order. The post-observation drain provably contains every
+//    action with a smaller ticket bound for this executor, so admission
+//    order at every common executor matches the global ticket order —
+//    exactly the no-interleaving guarantee the latches provided, now with
+//    a single shared fetch_add on the multi-queue path only
+//    (single-executor phases skip tickets entirely: ticket 0 admits
+//    immediately).
+//
+// Publication tracking is a ring of ticket slots: Publish stores the
+// ticket into its slot and rolls the horizon forward over consecutive
+// published slots. The window between Take and Publish is a handful of
+// CAS enqueues — nanoseconds — so executors waiting on the horizon spin
+// briefly at worst.
+
+#ifndef DORADB_DORA_TICKET_H_
+#define DORADB_DORA_TICKET_H_
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "util/spinlock.h"
+
+namespace doradb {
+namespace dora {
+
+class TicketLine {
+ public:
+  explicit TicketLine(size_t ring_slots = 1u << 15)
+      : mask_(ring_slots - 1), ring_(ring_slots) {
+    // ring_slots must be a power of two and bounds the number of
+    // in-flight (taken, unpublished) dispatches.
+  }
+  TicketLine(const TicketLine&) = delete;
+  TicketLine& operator=(const TicketLine&) = delete;
+
+  // Draw the next ticket. Tickets start at 1; 0 means "unticketed".
+  uint64_t Take() {
+    const uint64_t t = next_.fetch_add(1, std::memory_order_relaxed);
+    // Ring guard: with more in-flight dispatches than slots, a slot would
+    // be overwritten before its ticket was consumed into the horizon. The
+    // window is enqueue-sized, so this spin is effectively never taken.
+    while (t - published_.load(std::memory_order_acquire) > mask_) {
+      CpuRelax();
+    }
+    return t;
+  }
+
+  // Mark `t` fully enqueued and roll the horizon over any now-consecutive
+  // published tickets (helping later publishers that finished early).
+  //
+  // The slot store and the roll-loop slot load are seq_cst, not
+  // release/acquire: two racing publishers form the store-buffering
+  // litmus (each stores its own slot, then loads the other's), and under
+  // release/acquire BOTH loads may read stale — each returns believing
+  // the other will roll the horizon, stranding a published ticket outside
+  // it forever (nothing else re-runs the roll, so the deferred actions
+  // and their client would hang). Sequential consistency forbids that
+  // outcome: whichever slot store is later in the total order, its
+  // publisher's subsequent load must see the earlier one.
+  void Publish(uint64_t t) {
+    ring_[t & mask_].store(t, std::memory_order_seq_cst);
+    uint64_t h = published_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (ring_[(h + 1) & mask_].load(std::memory_order_seq_cst) != h + 1) {
+        return;
+      }
+      // acq_rel: the successful advance must carry the publisher's (and
+      // every earlier advancer's) enqueues into any thread that
+      // acquire-loads the new horizon.
+      if (published_.compare_exchange_weak(h, h + 1,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        ++h;
+      }
+      // On CAS failure `h` was reloaded: another thread advanced; keep
+      // scanning from its value.
+    }
+  }
+
+  // Every multi-queue dispatch with ticket <= horizon() is fully enqueued.
+  uint64_t horizon() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  // Tickets issued so far (stats).
+  uint64_t issued() const {
+    return next_.load(std::memory_order_relaxed) - 1;
+  }
+
+ private:
+  const uint64_t mask_;
+  std::atomic<uint64_t> next_{1};
+  std::atomic<uint64_t> published_{0};  // all tickets <= this are published
+  std::vector<std::atomic<uint64_t>> ring_;
+};
+
+}  // namespace dora
+}  // namespace doradb
+
+#endif  // DORADB_DORA_TICKET_H_

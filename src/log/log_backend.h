@@ -78,6 +78,10 @@ class LogBackend {
 
   virtual uint64_t appends() const = 0;
   virtual uint64_t flushes() const = 0;
+  // Watermark-only header fdatasyncs elided on idle periodic flushes
+  // (file-backed partitioned log; see LogManager::Options::
+  // idle_sync_skip_ticks). 0 for backends without the optimization.
+  virtual uint64_t idle_syncs_skipped() const { return 0; }
   virtual size_t stable_size() const = 0;
   // One partition's stable bytes (the whole stream for single-stream
   // backends) — the checkpoint coordinator weights its visit cadence by

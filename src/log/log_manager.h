@@ -35,6 +35,14 @@ class LogManager final : public LogBackend {
   struct Options {
     uint64_t flush_interval_us = 50;  // group-commit window
     bool synchronous = false;         // flush inline on every append (tests)
+    // File-backed partitioned log only: an idle partition whose periodic
+    // flush would persist nothing but a watermark-header advance may skip
+    // the fdatasync up to this many consecutive ticks (then a heartbeat
+    // sync bounds the persisted claim's lag). Waiters (commit acks,
+    // explicit WaitFlushed) always force the sync, so durability
+    // acknowledgements never observe the skip. The central backend — whose
+    // single stream only syncs when it has data — ignores this.
+    uint32_t idle_sync_skip_ticks = 64;
     // Non-empty: back the stable region with segment files under
     // `<data_dir>/central` (log/segment_file.h); existing segments are
     // adopted at construction and LSN allocation resumes past them. The

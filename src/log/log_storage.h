@@ -50,6 +50,11 @@ class LogStorage {
   // stream's claim. No-op for memory.
   virtual void Sync(Lsn watermark) = 0;
 
+  // True when Sync actually pays for durability (file-backed media): the
+  // owner may then rate-limit watermark-only syncs for idle streams. The
+  // memory medium's Sync is free, so there is nothing to skip.
+  virtual bool durable() const { return false; }
+
   // The claim persisted by the last Sync of a previous lifetime (0 when
   // the medium is fresh or volatile).
   virtual Lsn recovered_watermark() const { return 0; }

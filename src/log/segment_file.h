@@ -62,6 +62,7 @@ class SegmentFileStorage final : public LogStorage {
 
   void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override;
   void Sync(Lsn watermark) override;
+  bool durable() const override { return true; }
   Lsn recovered_watermark() const override { return recovered_watermark_; }
   Lsn recovered_last_lsn() const override { return recovered_last_lsn_; }
   Lsn recovered_stream_end() const override { return recovered_stream_end_; }

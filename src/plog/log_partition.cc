@@ -21,7 +21,7 @@ Lsn LogPartition::Append(LogRecord* rec) {
   return gsn;
 }
 
-void LogPartition::Flush() {
+void LogPartition::Flush(bool force_watermark) {
   std::lock_guard<std::mutex> g(stable_mu_);
   if (killed_) return;
   std::vector<uint8_t> pending;
@@ -40,12 +40,24 @@ void LogPartition::Flush() {
     flushes_.fetch_add(1, std::memory_order_relaxed);
   }
   if (horizon > watermark_.load(std::memory_order_relaxed)) {
+    // Idle watermark-only advance on a durable medium: the header write +
+    // fdatasync buys no local durability (no new records), only a fresher
+    // persisted claim for cold restart. Periodic flushes may defer it for
+    // a bounded run of ticks; the watermark then stays put, so any waiter
+    // gating on it will come back with force_watermark and pay the sync.
+    if (pending.empty() && !force_watermark && stable_->durable() &&
+        idle_skips_ < idle_skip_limit_) {
+      ++idle_skips_;
+      idle_syncs_skipped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     // Durability before advertisement: commit acks gate on the watermark,
     // so it must be persisted (data + claim, one fsync) before it moves.
     ScopedTimeClass timer(TimeClass::kLogWork);
     stable_->Sync(horizon);
     watermark_.store(horizon, std::memory_order_release);
   }
+  idle_skips_ = 0;
 }
 
 Lsn LogPartition::RecoverFromStorage() {

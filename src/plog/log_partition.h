@@ -51,7 +51,18 @@ class LogPartition {
 
   // Move buffered bytes to the stable stream, make them durable, and
   // advance the watermark.
-  void Flush();
+  //
+  // `force_watermark` distinguishes the two callers. Waiters (commit
+  // acks, WaitFlushed, shutdown) pass true — the watermark must advance
+  // now, whatever it costs. The periodic flusher passes false: an IDLE
+  // file-backed partition (nothing appended, only the global GSN horizon
+  // moved) may then skip the watermark-only header write + fdatasync for
+  // up to idle_sync_skip_ticks consecutive ticks. The in-memory watermark
+  // only ever advances after the claim is persisted, so the skip trades a
+  // bounded horizon lag (waiters force through it on demand) for not
+  // fsyncing every quiet partition on every tick — it can never
+  // un-acknowledge a commit.
+  void Flush(bool force_watermark = true);
 
   // All records of this partition with GSN <= watermark() are stable.
   Lsn watermark() const { return watermark_.load(std::memory_order_acquire); }
@@ -116,8 +127,15 @@ class LogPartition {
   // exactly as an interrupted flush would leave the partition.
   void PartialFlushTorn(size_t bytes);
 
+  // Consecutive-tick budget for skipping idle watermark-only syncs.
+  void set_idle_sync_skip_ticks(uint32_t n) { idle_skip_limit_ = n; }
+
   uint64_t appends() const { return appends_.load(std::memory_order_relaxed); }
   uint64_t flushes() const { return flushes_.load(std::memory_order_relaxed); }
+  // Watermark-only header fdatasyncs elided on idle periodic flushes.
+  uint64_t idle_syncs_skipped() const {
+    return idle_syncs_skipped_.load(std::memory_order_relaxed);
+  }
   size_t stable_size() const;
   size_t segment_count() const;
   PageId recovered_max_page_id() const {
@@ -138,9 +156,13 @@ class LogPartition {
   std::atomic<Lsn> watermark_{0};  // written only under stable_mu_
   bool killed_ = false;            // under stable_mu_
 
+  uint32_t idle_skip_limit_ = 0;  // 0 = never skip
+  uint32_t idle_skips_ = 0;       // consecutive skips so far (under stable_mu_)
+
   std::atomic<uint64_t> appends_{0};
   std::atomic<uint64_t> flushes_{0};
   std::atomic<uint64_t> reclaimed_{0};
+  std::atomic<uint64_t> idle_syncs_skipped_{0};
 };
 
 }  // namespace plog

@@ -59,6 +59,8 @@ PartitionedLogManager::PartitionedLogManager(Options options)
     }
     partitions_.push_back(
         std::make_unique<LogPartition>(&clock_, std::move(storage)));
+    partitions_.back()->set_idle_sync_skip_ticks(
+        options_.log.idle_sync_skip_ticks);
   }
   if (!options_.data_dir.empty()) {
     // Cold start: every partition derives its durability claim from its
@@ -154,16 +156,14 @@ void PartitionedLogManager::WaitFlushed(Lsn lsn) {
 
 void PartitionedLogManager::WaitFlushedFrom(uint32_t partition_hint,
                                             Lsn lsn) {
-  // Flush the record's own partition eagerly; every other partition is
-  // advanced by its flusher (or its own commit daemon) within one
-  // group-commit window, so polling the horizon suffices and no
-  // cross-partition latch traffic is generated.
+  // Flush the record's own partition eagerly, then fall through to the
+  // shared laggard sweep. Other partitions normally advance on their own
+  // flushers, but an IDLE partition may be deferring its watermark-only
+  // header sync (idle_sync_skip_ticks), so a waiter must force laggards
+  // through rather than poll the horizon forever.
   LogPartition* own = partitions_[partition_hint % partitions_.size()].get();
   if (own->watermark() < lsn) own->Flush();
-  while (flushed_lsn() < lsn) {
-    NapMicros(options_.log.flush_interval_us);
-    if (own->watermark() < lsn) own->Flush();
-  }
+  WaitFlushed(lsn);
 }
 
 void PartitionedLogManager::DiscardVolatileTail() {
@@ -238,9 +238,17 @@ void PartitionedLogManager::FlusherLoop(uint32_t index, uint32_t stride) {
   while (!stop_.load(std::memory_order_acquire)) {
     NapMicros(options_.log.flush_interval_us);
     for (size_t p = index; p < partitions_.size(); p += stride) {
-      partitions_[p]->Flush();
+      // Periodic flush: idle partitions may defer the watermark-only
+      // header fdatasync (see LogPartition::Flush).
+      partitions_[p]->Flush(/*force_watermark=*/false);
     }
   }
+}
+
+uint64_t PartitionedLogManager::idle_syncs_skipped() const {
+  uint64_t n = 0;
+  for (const auto& p : partitions_) n += p->idle_syncs_skipped();
+  return n;
 }
 
 uint64_t PartitionedLogManager::appends() const {

@@ -81,6 +81,7 @@ class PartitionedLogManager final : public LogBackend {
 
   uint64_t appends() const override;
   uint64_t flushes() const override;
+  uint64_t idle_syncs_skipped() const override;
   size_t stable_size() const override;
   size_t PartitionStableSize(uint32_t partition) const override {
     return partitions_[partition % partitions_.size()]->stable_size();

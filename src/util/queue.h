@@ -40,6 +40,19 @@ class BlockingQueue {
     return item;
   }
 
+  // Bulk drain: block until at least one item is available (or the queue
+  // is closed), then take EVERYTHING under one lock round-trip. Returns an
+  // empty deque only after Close() with an empty queue. Consumers that can
+  // process batches should prefer this over per-item Pop(): under load it
+  // amortizes the mutex + wakeup across the whole backlog.
+  std::deque<T> PopAll() {
+    std::unique_lock<std::mutex> g(mu_);
+    cv_.wait(g, [&] { return !items_.empty() || closed_; });
+    std::deque<T> out;
+    out.swap(items_);
+    return out;
+  }
+
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> g(mu_);
     if (items_.empty()) return std::nullopt;

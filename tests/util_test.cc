@@ -183,6 +183,40 @@ TEST(BlockingQueueTest, CloseWakesConsumers) {
   consumer.join();
 }
 
+TEST(BlockingQueueTest, PopAllDrainsBacklogInOrder) {
+  BlockingQueue<int> q;
+  for (int i = 0; i < 50; ++i) q.Push(i);
+  std::deque<int> batch = q.PopAll();
+  ASSERT_EQ(batch.size(), 50u);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(batch[static_cast<size_t>(i)], i);
+  // Queue is empty now; a later push starts a fresh batch.
+  q.Push(99);
+  batch = q.PopAll();
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch.front(), 99);
+}
+
+TEST(BlockingQueueTest, PopAllBlocksThenTakesEverything) {
+  BlockingQueue<int> q;
+  std::atomic<size_t> got{0};
+  std::thread consumer([&] { got = q.PopAll().size(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(got.load(), 0u);
+  q.Push(1);
+  q.Push(2);
+  consumer.join();
+  // At least the first item; typically both land in the one batch.
+  EXPECT_GE(got.load(), 1u);
+}
+
+TEST(BlockingQueueTest, PopAllReturnsEmptyOnlyWhenClosed) {
+  BlockingQueue<int> q;
+  q.Push(7);
+  q.Close();
+  EXPECT_EQ(q.PopAll().size(), 1u) << "close drains the backlog first";
+  EXPECT_TRUE(q.PopAll().empty()) << "closed + empty = empty batch";
+}
+
 TEST(BlockingQueueTest, MpmcDeliversEverything) {
   BlockingQueue<int> q;
   constexpr int kProducers = 3, kConsumers = 3, kPer = 2000;
