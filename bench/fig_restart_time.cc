@@ -98,11 +98,14 @@ Row RunMode(const char* name, bool enabled, bool partition_local) {
     // stable truncation, exactly as a dead process leaves its files —
     // and reopen the data directory in a second lifetime. The timed
     // region covers the cold start — segment scan, claim merge, stream
-    // truncation, clock resume — plus ARIES recovery, from files alone.
+    // truncation, clock resume, catalog.db replay (constructor) — plus
+    // ARIES recovery and the spec-driven index rebuild, from files alone:
+    // no schema re-creation, Attach() only binds ids from the recovered
+    // catalog by name.
     rig.db->SimulateKill();
     rig.engine.reset();
     rig.workload.reset();
-    const tpcb::TpcbWorkload::Config cfg{};  // schema only; sizes unused
+    const tpcb::TpcbWorkload::Config cfg{};  // ids bound at Attach
     rig.db.reset();
 
     const auto t0 = std::chrono::steady_clock::now();

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Markdown link check: every relative link in the repo's *.md files must
+point at a file or directory that exists.
+
+Usage: check_md_links.py [repo_root]
+
+Checks inline links ``[text](target)`` in every tracked-ish Markdown file
+(build/ and hidden directories are skipped). External links (http/https/
+mailto) are not fetched — this is an offline existence check for the doc
+graph the READMEs form. Exit code 0 = clean, 1 = broken links (each
+printed as file:line: target).
+"""
+
+import os
+import re
+import sys
+
+# Inline links, excluding images' alt-text edge cases handled the same way.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        # Skip hidden trees and every build variant (build, build-asan,
+        # build-tsan, ... — the CMake convention used by CI).
+        dirnames[:] = [
+            d for d in dirnames
+            if not d.startswith((".", "build"))
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        in_code = False
+        for lineno, line in enumerate(f, 1):
+            if line.lstrip().startswith("```"):
+                in_code = not in_code
+                continue
+            if in_code:
+                continue
+            # Inline code spans show syntax, they don't link.
+            line = re.sub(r"`[^`]*`", "", line)
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+                    continue
+                target = target.split("#", 1)[0]
+                if not target:
+                    continue
+                if target.startswith("/"):
+                    resolved = os.path.join(root, target.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), target)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, match.group(1)))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    total_files = 0
+    total_links_broken = 0
+    for path in sorted(md_files(root)):
+        total_files += 1
+        for lineno, target in check_file(path, root):
+            total_links_broken += 1
+            rel = os.path.relpath(path, root)
+            print(f"BROKEN {rel}:{lineno}: {target}")
+    if total_links_broken:
+        print(f"{total_links_broken} broken link(s) across {total_files} "
+              "markdown file(s)")
+        return 1
+    print(f"markdown links OK ({total_files} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

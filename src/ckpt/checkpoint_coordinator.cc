@@ -88,6 +88,10 @@ Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
                                            bool all_partitions) {
   std::lock_guard<std::mutex> g(ckpt_mu_);
 
+  // (0) Catalog snapshot: the schema description must be durable before
+  // this round may truncate any log it describes.
+  if (persist_catalog_) DORADB_RETURN_NOT_OK(persist_catalog_());
+
   // (1) Horizon cap, snapshotted before anything else: any record stamped
   // after this instant carries a larger LSN, so every in-flight operation
   // the scans below might miss is beyond the horizon by construction.

@@ -39,6 +39,7 @@
 #define DORADB_CKPT_CHECKPOINT_COORDINATOR_H_
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -112,6 +113,15 @@ class CheckpointCoordinator {
   std::vector<uint64_t> partition_visits() const;
   const Options& options() const { return options_; }
 
+  // Catalog snapshot hook, run at the start of every checkpoint round
+  // before a horizon is published: log truncation must never outrun the
+  // durable schema description (DDL write-through normally keeps
+  // catalog.db current, making this a cheap no-op — see
+  // storage/catalog_store.h). A failing persist fails the checkpoint.
+  void SetCatalogPersist(std::function<Status()> fn) {
+    persist_catalog_ = std::move(fn);
+  }
+
   // The partition the adaptive daemon would visit next: the one whose
   // stable log grew the most since its last visit, round-robin when
   // nothing grew (Options::adaptive). Public for observability/tests;
@@ -126,6 +136,7 @@ class CheckpointCoordinator {
   LogBackend* const log_;
   TxnManager* const txns_;
   const Options options_;
+  std::function<Status()> persist_catalog_;
 
   mutable std::mutex ckpt_mu_;  // serializes rounds (daemon + manual callers)
   // Adaptive cadence bookkeeping, under ckpt_mu_: per-partition stable

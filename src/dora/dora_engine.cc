@@ -25,6 +25,33 @@ void DoraEngine::RegisterTable(TableId table, uint64_t key_space,
         this, db_, table, i, next_global_index_++));
   }
   tables_[table] = std::move(group);
+  // Make the routing configuration part of the self-describing catalog
+  // (no-op re-save when a reopened lifetime re-registers identical wiring).
+  // A persist failure (SetDoraConfig rolls its in-memory change back) is
+  // parked rather than returned — registration keeps the void signature
+  // the Workload::SetupDora contract relies on — and every subsequent
+  // Run() surfaces it: the engine must not execute on wiring the next
+  // lifetime cannot see, but the application, not SIGABRT, decides what
+  // to do about it.
+  if (db_->catalog()->GetTable(table) != nullptr) {
+    const Status s = db_->catalog()->SetDoraConfig(table, key_space,
+                                                   executors);
+    if (!s.ok() && registration_status_.ok()) registration_status_ = s;
+  }
+}
+
+uint32_t DoraEngine::RegisterFromCatalog() {
+  assert(!started_);
+  uint32_t n = 0;
+  // Creation order == id order, so executor global indexes (and with them
+  // the plog partition and core bindings) come out exactly as a workload
+  // registering tables in creation order would produce.
+  for (const auto& t : db_->catalog()->tables()) {
+    if (t->dora_executors == 0 || tables_.count(t->id) != 0) continue;
+    RegisterTable(t->id, t->key_space, t->dora_executors);
+    ++n;
+  }
+  return n;
 }
 
 void DoraEngine::Start() {
@@ -148,6 +175,9 @@ DoraTxnRef DoraEngine::BeginTxn() {
 }
 
 Status DoraEngine::Run(const DoraTxnRef& dtxn, FlowGraph&& graph) {
+  // A registration whose routing config never reached the catalog must
+  // not execute: after a restart that wiring would silently not exist.
+  if (!registration_status_.ok()) return registration_status_;
   DoraTxn* t = dtxn.get();
   // Materialize the flow graph into actions + RVPs owned by the txn
   // context (all storage capacity-recycled across transactions).

@@ -106,8 +106,20 @@ class DoraEngine {
 
   // Declare a table and its executor group. Must precede Start().
   // `key_space` is the routing-field domain size (used for the initial
-  // uniform partitioning).
+  // uniform partitioning). The configuration is recorded in the catalog
+  // (durable mode: written through to catalog.db), so a later lifetime
+  // can rebuild the same wiring with RegisterFromCatalog.
   void RegisterTable(TableId table, uint64_t key_space, uint32_t executors);
+
+  // Self-contained reopen: register every catalog table that carries a
+  // persisted DORA configuration, in creation (id) order — reproducing
+  // each table's executor group and routing rule without workload code.
+  // Executor global indexes (and with them log-partition/core bindings)
+  // follow creation order, which matches the prior lifetime only if the
+  // workload also registered in creation order; any assignment is
+  // functionally equivalent — routing is per table. Returns the number of
+  // tables registered. Must precede Start().
+  uint32_t RegisterFromCatalog();
 
   void Start();
   void Stop();
@@ -137,6 +149,12 @@ class DoraEngine {
 
   const Options& options() const { return options_; }
   TicketLine& tickets() { return tickets_; }
+
+  // First error parked by RegisterTable's catalog write-through (OK when
+  // every registration persisted). Run() refuses with it, so a durable
+  // database can never execute on routing wiring a reopened lifetime
+  // would not see.
+  const Status& registration_status() const { return registration_status_; }
 
   // --- internal (executor callbacks) ---
 
@@ -209,6 +227,7 @@ class DoraEngine {
   Database* const db_;
   const Options options_;
   bool started_ = false;
+  Status registration_status_;
 
   std::unordered_map<TableId, std::unique_ptr<TableGroup>> tables_;
   uint32_t next_global_index_ = 0;

@@ -40,6 +40,51 @@ Database::Database(Options options)
   if (recovered_pid != kInvalidPageId) {
     disk_->EnsureAllocatedThrough(recovered_pid + 1);
   }
+  // Durable mode: the schema lives in <data_dir>/catalog.db. Reopening an
+  // existing directory replays the stored DDL — tables, indexes (their
+  // eager B+Tree roots allocate AFTER the bump above, so they can never
+  // collide with logged page ids), key schemas, DORA routing config — so
+  // the application never re-creates its schema. Only then is the store
+  // attached for write-through: every subsequent DDL is durable before it
+  // returns. A corrupt or version-mismatched catalog leaves the catalog
+  // empty and parks the named error in catalog_status_; Recover() refuses
+  // to run with it (misrouting over a half-read schema would be silent
+  // data loss), and the bad file is left in place as evidence.
+  if (!options_.data_dir.empty()) {
+    catalog_store_ = std::make_unique<CatalogStore>(options_.data_dir);
+    catalog_file_found_ = catalog_store_->Exists();
+    if (catalog_file_found_) {
+      CatalogImage img;
+      catalog_status_ = catalog_store_->Load(&img);
+      if (catalog_status_.ok()) {
+        catalog_status_ = ReplayCatalogImage(img, catalog_.get());
+      }
+    } else if (log_->stable_size() == 0) {
+      // First durable open of a FRESH directory: persist the (empty)
+      // catalog now, so even a database that never issues DDL — whose WAL
+      // will only ever hold checkpoint records — reopens self-described
+      // instead of tripping Recover()'s missing-catalog guard. A
+      // directory that already holds WAL content but no catalog.db (a
+      // pre-catalog or damaged one) deliberately gets NO bootstrap file:
+      // writing one would make a bare reopen retry indistinguishable from
+      // the legitimate schema-less case and defeat the guard on the next
+      // lifetime — it stays catalog-less until the application's first
+      // write-through DDL describes it.
+      catalog_status_ = catalog_store_->Save(CatalogImage{});
+    }
+    if (catalog_status_.ok()) {
+      catalog_->SetStore(catalog_store_.get());
+    } else {
+      // New DDL on top of an unreadable catalog could never be persisted
+      // or recovered; poison the catalog so every mutation path — not
+      // just Recover() — surfaces the named error.
+      catalog_->Poison(catalog_status_);
+    }
+  }
+  // Checkpoints snapshot the catalog before publishing a horizon, so log
+  // truncation can never outrun the schema description (a no-op while DDL
+  // write-through keeps the file current).
+  ckpt_->SetCatalogPersist([this] { return catalog_->Persist(); });
   pool_->SetWalFlushCallback([this](Lsn lsn) {
     // WAL rule: the covering (partition) flush horizon must pass the page
     // LSN before the dirty page may be stolen.

@@ -27,6 +27,7 @@
 #include "log/log_manager.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
+#include "storage/catalog_store.h"
 #include "storage/disk_manager.h"
 #include "txn/txn_manager.h"
 
@@ -69,12 +70,16 @@ class Database {
     // work regardless.
     ckpt::CheckpointCoordinator::Options checkpoint;
     // Non-empty: durable mode. The WAL's stable streams live in segment
-    // files under this directory (log/segment_file.h) and the page store
-    // becomes `<data_dir>/pages.db`. Constructing a Database over a
-    // directory a previous lifetime wrote is the reopen path: the log
-    // backends adopt the existing segments (cold start) and Recover()
-    // rebuilds committed state from disk alone. Empty (default): both
-    // media are in-memory vectors, the seed behaviour.
+    // files under this directory (log/segment_file.h), the page store
+    // becomes `<data_dir>/pages.db`, and the schema lives in
+    // `<data_dir>/catalog.db` (storage/catalog_store.h), written through
+    // on every DDL. Constructing a Database over a directory a previous
+    // lifetime wrote is the reopen path: the log backends adopt the
+    // existing segments (cold start), the catalog is rebuilt from
+    // catalog.db — tables, indexes, key schemas, DORA routing config —
+    // and Recover() rebuilds committed state from disk alone, with no
+    // application-side schema re-creation. Empty (default): both media
+    // are in-memory vectors, the seed behaviour.
     std::string data_dir;
     // Segment roll target for the file-backed log streams.
     size_t log_segment_bytes = 1 << 20;
@@ -163,9 +168,20 @@ class Database {
 
   // ARIES restart: analysis over the stable log, redo of winners' history,
   // undo of losers with CLRs. Heap page lists are rediscovered from the
-  // disk image; indexes are rebuilt by `rebuild_indexes` (schema-aware,
-  // supplied by the workload) after the heaps are consistent.
-  Status Recover(const std::function<Status(Database*)>& rebuild_indexes);
+  // disk image. Indexes are derived state: once the heaps are consistent,
+  // every index whose persisted IndexKeySpec can rebuild it is repopulated
+  // generically from its heap, then `rebuild_indexes` (optional,
+  // schema-aware) runs for indexes with opaque keys. Fails with the
+  // catalog's named load error if this Database was opened over a data
+  // directory whose catalog.db was corrupt or of a mismatched version —
+  // reopen refuses to run rather than misroute over a half-read schema.
+  Status Recover(
+      const std::function<Status(Database*)>& rebuild_indexes = nullptr);
+
+  // The result of loading + replaying <data_dir>/catalog.db at
+  // construction: OK in memory mode, for a fresh directory, or after a
+  // clean replay; a named "catalog: ..." error otherwise.
+  const Status& catalog_load_status() const { return catalog_status_; }
 
  private:
   friend class RecoveryDriver;
@@ -177,6 +193,13 @@ class Database {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<BufferPool> pool_;
   std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<CatalogStore> catalog_store_;  // durable mode only
+  Status catalog_status_;
+  // catalog.db was present when this Database opened. False on a fresh
+  // directory (an empty catalog is written immediately) and on a
+  // pre-catalog or damaged directory (no file to load) — the case
+  // Recover()'s missing-catalog guard protects.
+  bool catalog_file_found_ = false;
   std::unique_ptr<LockManager> lock_;
   std::unique_ptr<LogBackend> log_;
   std::unique_ptr<TxnManager> txns_;

@@ -8,6 +8,27 @@ namespace doradb {
 
 Status Database::Recover(
     const std::function<Status(Database*)>& rebuild_indexes) {
+  // A durable database whose catalog.db failed to load has no trustworthy
+  // schema: running ARIES over it would misattribute every record. Surface
+  // the named load error instead.
+  if (!catalog_status_.ok()) return catalog_status_;
+  // A non-empty stable log whose directory carried NO catalog.db and for
+  // which no schema was declared is the missing-catalog shape (the file
+  // deleted or never copied alongside the WAL): recovery would silently
+  // skip every record as unknown-table, report success over an empty
+  // database, and the restarted checkpoint daemon would then truncate
+  // the orphaned log — permanent loss of acked commits. Refuse with a
+  // named error. Directories this engine opened always have a catalog.db
+  // (an empty one is written at first open), and a pre-catalog directory
+  // is still adoptable: declare the schema (as those lifetimes always
+  // had to) before calling Recover and this guard passes.
+  if (!options_.data_dir.empty() && !catalog_file_found_ &&
+      catalog_->num_tables() == 0 && log_->stable_size() > 0) {
+    return Status::Corruption(
+        "catalog: data directory holds WAL content but no schema — "
+        "catalog.db is missing and none was declared; refusing to recover "
+        "over an undescribed log");
+  }
   RecoveryDriver driver(this);
   const Status s = driver.Run(rebuild_indexes);
   // The restarted system resumes checkpointing where the crashed one died.
@@ -31,8 +52,60 @@ Status RecoveryDriver::Run(
   DORADB_RETURN_NOT_OK(RebuildHeapDirectory());
   DORADB_RETURN_NOT_OK(Redo());
   DORADB_RETURN_NOT_OK(UndoLosers());
+  DORADB_RETURN_NOT_OK(RebuildSpecIndexes());
   if (rebuild_indexes) DORADB_RETURN_NOT_OK(rebuild_indexes(db_));
+  // Every index must have been repopulated by now — by its key spec or by
+  // the callback. An opaque-key index still empty over a non-empty heap
+  // means the caller relied on Recover()'s no-callback default for a
+  // schema that cannot self-rebuild: succeeding would leave every probe
+  // returning NotFound over live rows (silent read-level data loss), so
+  // refuse by name instead. (An in-process restart's surviving tree has
+  // entries and passes; a legitimately fresh index has an empty heap.)
+  for (const auto& idx : db_->catalog()->indexes()) {
+    if (idx->key_spec.CanRebuild() || idx->tree->num_entries() != 0) {
+      continue;
+    }
+    if (db_->catalog()->Heap(idx->table_id)->record_count() == 0) continue;
+    return Status::Corruption(
+        "index '" + idx->name +
+        "' has opaque keys (no IndexKeySpec), a non-empty heap, and no "
+        "rebuild callback repopulated it — rows would be unreachable; pass "
+        "a rebuild_indexes callback or declare a key spec");
+  }
   return db_->buffer_pool()->FlushAll();
+}
+
+Status RecoveryDriver::RebuildSpecIndexes() {
+  // After redo + undo the heaps hold exactly the committed rows, so an
+  // index is a pure function of its heap and its key spec. Only EMPTY
+  // trees are rebuilt: a cold-started lifetime creates every tree empty
+  // (B+Trees are unlogged derived state), while an in-process restart may
+  // still hold a live tree the workload manages through its own callback.
+  Catalog* catalog = db_->catalog();
+  for (const auto& idx : catalog->indexes()) {
+    if (!idx->key_spec.CanRebuild()) continue;
+    BTree* tree = idx->tree.get();
+    if (tree->num_entries() != 0) continue;
+    HeapFile* heap = catalog->Heap(idx->table_id);
+    Status row_status;
+    DORADB_RETURN_NOT_OK(
+        heap->Scan([&](const Rid& rid, std::string_view rec) {
+          std::string key;
+          uint64_t aux;
+          row_status = idx->key_spec.Extract(rec, &key, &aux);
+          if (!row_status.ok()) return false;
+          row_status = tree->Insert(key, IndexEntry{rid, aux, false});
+          if (!row_status.ok()) return false;
+          ++stats_.index_entries_rebuilt;
+          return true;
+        }));
+    if (!row_status.ok()) {
+      return Status::Corruption("index rebuild failed for '" + idx->name +
+                                "': " + row_status.ToString());
+    }
+    ++stats_.indexes_rebuilt;
+  }
+  return Status::OK();
 }
 
 Status RecoveryDriver::Analysis() {

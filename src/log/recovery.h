@@ -41,6 +41,11 @@ class RecoveryDriver {
     size_t cleared_by_horizon = 0;
     size_t undo_applied = 0;
     size_t heap_pages_adopted = 0;
+    // Indexes repopulated generically from their persisted IndexKeySpec
+    // (self-contained reopen: no workload callback needed), and the leaf
+    // entries those rebuilds inserted.
+    size_t indexes_rebuilt = 0;
+    size_t index_entries_rebuilt = 0;
     // Redo start point: the maximum redo horizon among durable checkpoint
     // records (kInvalidLsn if none survived). Everything below it was in
     // the disk image when that checkpoint ran.
@@ -58,6 +63,10 @@ class RecoveryDriver {
   Status RebuildHeapDirectory();
   Status Redo();
   Status UndoLosers();
+  // Repopulate empty indexes whose catalog entry carries a key spec by
+  // scanning their heaps — the self-describing half of index recovery;
+  // the schema-aware callback covers the rest.
+  Status RebuildSpecIndexes();
 
   // Fetch-or-init the heap page `pid` of `table` and return its page LSN.
   Status PageLsnOf(TableId table, PageId pid, Lsn* lsn);

@@ -1,9 +1,103 @@
 #include "storage/catalog.h"
 
+#include "storage/catalog_store.h"
+
 namespace doradb {
+
+Status IndexKeySpec::Validate() const {
+  if (fields.size() > 0xFFFF) {
+    return Status::InvalidArgument("too many key fields");
+  }
+  size_t total_width = 0;
+  for (const IndexKeyField& f : fields) {
+    if (f.kind == IndexKeyField::Kind::kUint) {
+      if (f.width != 1 && f.width != 2 && f.width != 4 && f.width != 8) {
+        return Status::InvalidArgument("bad uint key-field width " +
+                                       std::to_string(f.width));
+      }
+    } else if (f.kind != IndexKeyField::Kind::kBytes) {
+      return Status::InvalidArgument("unknown key-field kind");
+    } else if (f.width == 0) {
+      return Status::InvalidArgument("zero-width bytes key field");
+    }
+    total_width += f.width;
+  }
+  // KeyBuilder::Push silently drops bytes past kMaxKeySize; a wider spec
+  // would build on truncated (colliding) keys.
+  if (total_width > kMaxKeySize) {
+    return Status::InvalidArgument(
+        "key spec is wider (" + std::to_string(total_width) +
+        " bytes) than the max key size");
+  }
+  if (aux_offset != kNoAux && (aux_width == 0 || aux_width > 8)) {
+    return Status::InvalidArgument("bad aux width " +
+                                   std::to_string(aux_width));
+  }
+  return Status::OK();
+}
+
+Status IndexKeySpec::Extract(std::string_view record, std::string* key,
+                             uint64_t* aux) const {
+  KeyBuilder kb;
+  for (const IndexKeyField& f : fields) {
+    if (record.size() < static_cast<size_t>(f.offset) + f.width) {
+      return Status::Corruption("key spec past record end");
+    }
+    const auto* p =
+        reinterpret_cast<const uint8_t*>(record.data()) + f.offset;
+    if (f.kind == IndexKeyField::Kind::kBytes) {
+      kb.AddString(record.substr(f.offset, f.width), f.width);
+      continue;
+    }
+    // Validate the width BEFORE the shift loop: an out-of-range width
+    // (hostile or future-format catalog file) must hit this guard, not a
+    // >= 64-bit shift.
+    if (f.width != 1 && f.width != 2 && f.width != 4 && f.width != 8) {
+      return Status::Corruption("key spec: bad uint width " +
+                                std::to_string(f.width));
+    }
+    uint64_t v = 0;
+    for (uint8_t i = 0; i < f.width; ++i) {
+      v |= static_cast<uint64_t>(p[i]) << (i * 8);  // record fields are LE
+    }
+    switch (f.width) {
+      case 1: kb.Add8(static_cast<uint8_t>(v)); break;
+      case 2: kb.Add16(static_cast<uint16_t>(v)); break;
+      case 4: kb.Add32(static_cast<uint32_t>(v)); break;
+      default: kb.Add64(v); break;
+    }
+  }
+  *key = kb.Str();
+  *aux = 0;
+  if (aux_offset != kNoAux) {
+    if (aux_width == 0 || aux_width > 8) {
+      return Status::Corruption("key spec: bad aux width " +
+                                std::to_string(aux_width));
+    }
+    if (record.size() < static_cast<size_t>(aux_offset) + aux_width) {
+      return Status::Corruption("key spec aux past record end");
+    }
+    const auto* p =
+        reinterpret_cast<const uint8_t*>(record.data()) + aux_offset;
+    for (uint8_t i = 0; i < aux_width; ++i) {
+      *aux |= static_cast<uint64_t>(p[i]) << (i * 8);
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+// Names are stored behind a u16 length prefix in catalog.db; reject longer
+// ones at DDL time rather than serializing a structurally corrupt payload.
+constexpr size_t kMaxNameLen = 0xFFFF;
+}  // namespace
 
 Status Catalog::CreateTable(const std::string& name, TableId* id) {
   std::lock_guard<std::mutex> g(mu_);
+  if (!poison_.ok()) return poison_;
+  if (name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("table name too long");
+  }
   for (const auto& t : tables_) {
     if (t->name == name) return Status::Duplicate("table exists: " + name);
   }
@@ -13,14 +107,38 @@ Status Catalog::CreateTable(const std::string& name, TableId* id) {
   info->heap = std::make_unique<HeapFile>(pool_, info->id);
   *id = info->id;
   tables_.push_back(std::move(info));
+  ++ddl_epoch_;
+  const Status s = WriteThroughLocked();
+  if (!s.ok()) {
+    tables_.pop_back();  // durable mode: an unpersisted table never existed
+    --ddl_epoch_;
+    return s;
+  }
   return Status::OK();
 }
 
 Status Catalog::CreateIndex(TableId table, const std::string& name,
                             bool unique, bool secondary, IndexId* id) {
+  return CreateIndex(table, name, unique, secondary, IndexKeySpec{}, id);
+}
+
+Status Catalog::CreateIndex(TableId table, const std::string& name,
+                            bool unique, bool secondary,
+                            const IndexKeySpec& spec, IndexId* id) {
   std::lock_guard<std::mutex> g(mu_);
+  if (!poison_.ok()) return poison_;
   if (table >= tables_.size()) {
     return Status::InvalidArgument("no such table");
+  }
+  if (name.size() > kMaxNameLen) {
+    return Status::InvalidArgument("index name too long");
+  }
+  // Reject at DDL time exactly what load-time validation would reject: a
+  // persisted-but-unloadable spec would make the data directory
+  // permanently unopenable at its next lifetime.
+  const Status sv = spec.Validate();
+  if (!sv.ok()) {
+    return Status::InvalidArgument("index '" + name + "': " + sv.ToString());
   }
   for (const auto& i : indexes_) {
     if (i->name == name) return Status::Duplicate("index exists: " + name);
@@ -31,10 +149,56 @@ Status Catalog::CreateIndex(TableId table, const std::string& name,
   info->table_id = table;
   info->unique = unique;
   info->secondary = secondary;
-  info->tree = std::make_unique<BTree>(pool_, info->id, unique);
+  info->key_spec = spec;
   tables_[table]->indexes.push_back(info->id);
   *id = info->id;
   indexes_.push_back(std::move(info));
+  ++ddl_epoch_;
+  // Persist BEFORE allocating the eager B+Tree root: a failed write-through
+  // then rolls back pure metadata, leaking nothing (there is no page-free
+  // path the rollback could use, and one orphaned root per retry would
+  // accumulate in pages.db forever).
+  const Status s = WriteThroughLocked();
+  if (!s.ok()) {
+    indexes_.pop_back();
+    tables_[table]->indexes.pop_back();
+    --ddl_epoch_;
+    return s;
+  }
+  indexes_.back()->tree = std::make_unique<BTree>(pool_, *id, unique);
+  return Status::OK();
+}
+
+Status Catalog::SetDoraConfig(TableId table, uint64_t key_space,
+                              uint32_t executors) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!poison_.ok()) return poison_;
+  if (table >= tables_.size()) {
+    return Status::InvalidArgument("no such table");
+  }
+  if (executors > kMaxDoraExecutors) {
+    // Mirror of ValidateImage's load-time bound: persisting a value the
+    // loader rejects would brick the directory at its next reopen.
+    return Status::InvalidArgument("executor count " +
+                                   std::to_string(executors) +
+                                   " exceeds the catalog limit");
+  }
+  TableInfo* info = tables_[table].get();
+  if (info->key_space == key_space && info->dora_executors == executors) {
+    return Status::OK();  // reopen path re-registers identical wiring
+  }
+  const uint64_t prev_space = info->key_space;
+  const uint32_t prev_exec = info->dora_executors;
+  info->key_space = key_space;
+  info->dora_executors = executors;
+  ++ddl_epoch_;
+  const Status s = WriteThroughLocked();
+  if (!s.ok()) {
+    info->key_space = prev_space;
+    info->dora_executors = prev_exec;
+    --ddl_epoch_;
+    return s;
+  }
   return Status::OK();
 }
 
@@ -58,6 +222,38 @@ IndexInfo* Catalog::GetIndex(const std::string& name) {
     if (i->name == name) return i.get();
   }
   return nullptr;
+}
+
+void Catalog::BuildImageLocked(CatalogImage* out) const {
+  out->tables.clear();
+  out->indexes.clear();
+  for (const auto& t : tables_) {
+    out->tables.push_back(CatalogImage::Table{t->id, t->name, t->key_space,
+                                              t->dora_executors});
+  }
+  for (const auto& i : indexes_) {
+    out->indexes.push_back(CatalogImage::Index{
+        i->id, i->name, i->table_id, i->unique, i->secondary, i->key_spec});
+  }
+}
+
+void Catalog::Snapshot(CatalogImage* out) const {
+  std::lock_guard<std::mutex> g(mu_);
+  BuildImageLocked(out);
+}
+
+Status Catalog::Persist() {
+  std::lock_guard<std::mutex> g(mu_);
+  return WriteThroughLocked();
+}
+
+Status Catalog::WriteThroughLocked() {
+  if (store_ == nullptr || saved_epoch_ == ddl_epoch_) return Status::OK();
+  CatalogImage img;
+  BuildImageLocked(&img);
+  DORADB_RETURN_NOT_OK(store_->Save(img));
+  saved_epoch_ = ddl_epoch_;
+  return Status::OK();
 }
 
 }  // namespace doradb

@@ -5,6 +5,16 @@
 // [transaction] code is schema-aware" — workloads serialize their own record
 // structs; the catalog only names tables, owns their storage objects, and
 // records which indexes belong to which table.
+//
+// Self-describing metadata: besides the storage objects, each entry carries
+// the declarative facts a fresh process needs to reopen a data directory
+// cold — an index's key schema (how leaf keys and the DORA aux payload are
+// derived from record bytes, see IndexKeySpec) and a table's routing
+// configuration (key space + executor count, recorded by
+// DoraEngine::RegisterTable). With a CatalogStore attached (durable mode),
+// every DDL writes the whole catalog through to <data_dir>/catalog.db
+// before returning, so `Database(Options{data_dir})` + `Recover()` is
+// self-contained: no application-side schema re-creation.
 
 #ifndef DORADB_STORAGE_CATALOG_H_
 #define DORADB_STORAGE_CATALOG_H_
@@ -21,6 +31,80 @@
 
 namespace doradb {
 
+class CatalogStore;
+struct CatalogImage;
+
+// Bound on a table's persisted DORA executor count, enforced symmetrically
+// at registration (SetDoraConfig) and at catalog load (ValidateImage): the
+// engine must never persist a value it would refuse to load, and a
+// CRC-valid hostile file must not size a thread-spawning loop.
+constexpr uint32_t kMaxDoraExecutors = 4096;
+
+// One field of an index key, extracted from the record bytes at a fixed
+// offset. kUint fields are read little-endian (the in-record layout of the
+// workloads' POD row structs) and appended big-endian, byte-for-byte what
+// KeyBuilder::Add8/16/32/64 produces; kBytes fields are copied verbatim
+// (KeyBuilder::AddString on an in-record char array).
+struct IndexKeyField {
+  enum class Kind : uint8_t { kUint = 0, kBytes = 1 };
+  uint16_t offset = 0;
+  uint8_t width = 8;  // kUint: 1/2/4/8; kBytes: any
+  Kind kind = Kind::kUint;
+};
+
+// Declarative key schema: enough for the engine to rebuild an index from
+// its heap at restart without a workload callback. Empty fields = opaque
+// keys (the index is left to Recover()'s rebuild_indexes callback).
+struct IndexKeySpec {
+  static constexpr uint16_t kNoAux = 0xFFFF;
+
+  std::vector<IndexKeyField> fields;
+  // Offset/width of a little-endian unsigned field in the record that
+  // becomes the leaf entry's aux payload, zero-extended to 64 bits (DORA
+  // routing fields, §4.2.2); aux_offset == kNoAux = aux 0.
+  uint16_t aux_offset = kNoAux;
+  uint8_t aux_width = 8;
+
+  bool CanRebuild() const { return !fields.empty(); }
+
+  // Structural validity, shared by DDL-time acceptance (CreateIndex) and
+  // load-time validation (catalog_store's ValidateImage): the engine must
+  // never persist a spec it would refuse to load — that would brick the
+  // data directory at its next reopen.
+  Status Validate() const;
+
+  // Build (key, aux) from one record. Fails if the record is too short for
+  // any field — a spec/record mismatch is corruption, not a missing value.
+  Status Extract(std::string_view record, std::string* key,
+                 uint64_t* aux) const;
+
+  // The common single-u64-key shape (TPC-B's primary keys): key =
+  // Add64(LE u64 at key_offset), aux from a u64 at aux_offset.
+  static IndexKeySpec U64At(uint16_t key_offset, uint16_t aux = kNoAux) {
+    IndexKeySpec spec;
+    spec.fields.push_back(IndexKeyField{key_offset, 8,
+                                        IndexKeyField::Kind::kUint});
+    spec.aux_offset = aux;
+    return spec;
+  }
+
+  // Builder helpers for composite keys (TM1 / TPC-C shapes).
+  IndexKeySpec& Uint(uint16_t offset, uint8_t width) {
+    fields.push_back(IndexKeyField{offset, width, IndexKeyField::Kind::kUint});
+    return *this;
+  }
+  IndexKeySpec& Bytes(uint16_t offset, uint8_t width) {
+    fields.push_back(
+        IndexKeyField{offset, width, IndexKeyField::Kind::kBytes});
+    return *this;
+  }
+  IndexKeySpec& Aux(uint16_t offset, uint8_t width = 8) {
+    aux_offset = offset;
+    aux_width = width;
+    return *this;
+  }
+};
+
 struct IndexInfo {
   IndexId id;
   std::string name;
@@ -30,12 +114,20 @@ struct IndexInfo {
   // leaf entries carry routing fields in `aux` and probes to them become
   // DORA "secondary actions" (§4.2.2).
   bool secondary;
+  // Persisted key schema; empty = not generically rebuildable.
+  IndexKeySpec key_spec;
   std::unique_ptr<BTree> tree;
 };
 
 struct TableInfo {
   TableId id;
   std::string name;
+  // DORA routing configuration (paper §4.1.1), recorded by
+  // DoraEngine::RegisterTable and persisted so a reopened process can
+  // rebuild the same executor wiring (RegisterFromCatalog). executors == 0
+  // means the table was never registered with a DORA engine.
+  uint64_t key_space = 0;
+  uint32_t dora_executors = 0;
   std::unique_ptr<HeapFile> heap;
   std::vector<IndexId> indexes;
 };
@@ -44,12 +136,21 @@ class Catalog {
  public:
   explicit Catalog(BufferPool* pool) : pool_(pool) {}
 
-  // Create a table; names must be unique.
+  // Create a table; names must be unique. With a store attached, the
+  // catalog file is durable before this returns (or the DDL is rolled
+  // back and the write error returned).
   Status CreateTable(const std::string& name, TableId* id);
 
-  // Create an index on a table.
+  // Create an index on a table. The overload without a spec registers
+  // opaque keys (no generic restart rebuild).
   Status CreateIndex(TableId table, const std::string& name, bool unique,
                      bool secondary, IndexId* id);
+  Status CreateIndex(TableId table, const std::string& name, bool unique,
+                     bool secondary, const IndexKeySpec& spec, IndexId* id);
+
+  // Record a table's DORA routing configuration (write-through when it
+  // changes). Called by DoraEngine::RegisterTable.
+  Status SetDoraConfig(TableId table, uint64_t key_space, uint32_t executors);
 
   TableInfo* GetTable(TableId id);
   TableInfo* GetTable(const std::string& name);
@@ -68,7 +169,9 @@ class Catalog {
   size_t num_tables() const { return tables_.size(); }
   size_t num_indexes() const { return indexes_.size(); }
 
-  // Stable iteration for recovery / integrity checks.
+  // Stable iteration for recovery / integrity checks. Vector position ==
+  // id == creation order, which is what makes catalog replay reproduce
+  // identical ids in a later lifetime.
   const std::vector<std::unique_ptr<TableInfo>>& tables() const {
     return tables_;
   }
@@ -76,11 +179,44 @@ class Catalog {
     return indexes_;
   }
 
+  // ---- durability (data_dir mode) ----
+
+  // Attach the durable store; subsequent DDL writes through. Set AFTER
+  // replaying a recovered image — the replay must not re-save, so the
+  // current state is marked clean (the file it just came from is current).
+  void SetStore(CatalogStore* store) {
+    store_ = store;
+    saved_epoch_ = ddl_epoch_;
+  }
+
+  // Refuse all further DDL with `why` (set by a Database whose catalog.db
+  // failed to load): new schema on top of an unreadable catalog could
+  // never be persisted or recovered, so it must not be creatable either —
+  // not only Recover() but every mutation path surfaces the named error.
+  void Poison(Status why) { poison_ = std::move(why); }
+
+  // Plain-data snapshot of the metadata (no storage objects).
+  void Snapshot(CatalogImage* out) const;
+
+  // Save a snapshot if there is un-persisted DDL (checkpoint hook; no-op
+  // without a store or when the file is current).
+  Status Persist();
+
  private:
+  void BuildImageLocked(CatalogImage* out) const;
+  // Write the catalog through to the store (mu_ held). On failure the
+  // caller rolls its DDL back and surfaces the error.
+  Status WriteThroughLocked();
+
   BufferPool* const pool_;
   mutable std::mutex mu_;  // DDL only; the hot path never takes it
   std::vector<std::unique_ptr<TableInfo>> tables_;
   std::vector<std::unique_ptr<IndexInfo>> indexes_;
+
+  CatalogStore* store_ = nullptr;
+  Status poison_;             // non-OK: every DDL fails with this
+  uint64_t ddl_epoch_ = 0;    // bumped by every metadata mutation
+  uint64_t saved_epoch_ = 0;  // epoch the store last persisted
 };
 
 }  // namespace doradb

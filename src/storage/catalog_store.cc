@@ -1,0 +1,359 @@
+#include "storage/catalog_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "util/crc32.h"
+
+namespace doradb {
+
+namespace {
+
+void Put16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+void Put32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (i * 8)));
+}
+void Put64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (i * 8)));
+}
+void PutString(std::vector<uint8_t>* out, const std::string& s) {
+  Put16(out, static_cast<uint16_t>(s.size()));
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+// Bounds-checked little-endian reads; false = truncated payload.
+bool Get8(const std::vector<uint8_t>& b, size_t* off, uint8_t* v) {
+  if (*off + 1 > b.size()) return false;
+  *v = b[(*off)++];
+  return true;
+}
+bool Get16(const std::vector<uint8_t>& b, size_t* off, uint16_t* v) {
+  if (*off + 2 > b.size()) return false;
+  *v = static_cast<uint16_t>(b[*off] | (b[*off + 1] << 8));
+  *off += 2;
+  return true;
+}
+bool Get32(const std::vector<uint8_t>& b, size_t* off, uint32_t* v) {
+  if (*off + 4 > b.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 4; ++i) *v |= static_cast<uint32_t>(b[*off + i]) << (i * 8);
+  *off += 4;
+  return true;
+}
+bool Get64(const std::vector<uint8_t>& b, size_t* off, uint64_t* v) {
+  if (*off + 8 > b.size()) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) *v |= static_cast<uint64_t>(b[*off + i]) << (i * 8);
+  *off += 8;
+  return true;
+}
+bool GetString(const std::vector<uint8_t>& b, size_t* off, std::string* s) {
+  uint16_t n;
+  if (!Get16(b, off, &n) || *off + n > b.size()) return false;
+  s->assign(reinterpret_cast<const char*>(b.data() + *off), n);
+  *off += n;
+  return true;
+}
+
+Status Truncated(const char* what) {
+  return Status::Corruption(std::string("catalog: truncated ") + what);
+}
+
+}  // namespace
+
+CatalogStore::CatalogStore(const std::string& data_dir)
+    : dir_(data_dir), path_(data_dir + "/catalog.db") {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+}
+
+bool CatalogStore::Exists() const {
+  std::error_code ec;
+  return std::filesystem::exists(path_, ec);
+}
+
+void CatalogStore::Serialize(const CatalogImage& img,
+                             std::vector<uint8_t>* out) {
+  std::vector<uint8_t> payload;
+  Put32(&payload, static_cast<uint32_t>(img.tables.size()));
+  for (const auto& t : img.tables) {
+    Put16(&payload, t.id);
+    PutString(&payload, t.name);
+    Put64(&payload, t.key_space);
+    Put32(&payload, t.dora_executors);
+  }
+  Put32(&payload, static_cast<uint32_t>(img.indexes.size()));
+  for (const auto& i : img.indexes) {
+    Put16(&payload, i.id);
+    PutString(&payload, i.name);
+    Put16(&payload, i.table_id);
+    payload.push_back(i.unique ? 1 : 0);
+    payload.push_back(i.secondary ? 1 : 0);
+    Put16(&payload, i.key_spec.aux_offset);
+    payload.push_back(i.key_spec.aux_width);
+    Put16(&payload, static_cast<uint16_t>(i.key_spec.fields.size()));
+    for (const IndexKeyField& f : i.key_spec.fields) {
+      Put16(&payload, f.offset);
+      payload.push_back(f.width);
+      payload.push_back(static_cast<uint8_t>(f.kind));
+    }
+  }
+
+  out->clear();
+  Put64(out, kMagic);
+  Put32(out, kFormatVersion);
+  Put32(out, 0);
+  Put64(out, payload.size());
+  Put32(out, Crc32(payload.data(), payload.size()));
+  Put32(out, 0);
+  out->insert(out->end(), payload.begin(), payload.end());
+}
+
+Status CatalogStore::Deserialize(const std::vector<uint8_t>& bytes,
+                                 CatalogImage* out) {
+  size_t off = 0;
+  uint64_t magic, payload_len;
+  uint32_t version, pad, crc;
+  if (bytes.size() < kHeaderSize) return Truncated("header");
+  (void)Get64(bytes, &off, &magic);
+  (void)Get32(bytes, &off, &version);
+  (void)Get32(bytes, &off, &pad);
+  (void)Get64(bytes, &off, &payload_len);
+  (void)Get32(bytes, &off, &crc);
+  (void)Get32(bytes, &off, &pad);
+  if (magic != kMagic) return Status::Corruption("catalog: bad magic");
+  if (version != kFormatVersion) {
+    return Status::Corruption(
+        "catalog: format version mismatch (file v" + std::to_string(version) +
+        ", engine v" + std::to_string(kFormatVersion) + ")");
+  }
+  if (bytes.size() - kHeaderSize < payload_len) return Truncated("payload");
+  std::vector<uint8_t> payload(bytes.begin() + kHeaderSize,
+                               bytes.begin() + kHeaderSize + payload_len);
+  if (Crc32(payload.data(), payload.size()) != crc) {
+    return Status::Corruption("catalog: checksum mismatch");
+  }
+
+  out->tables.clear();
+  out->indexes.clear();
+  off = 0;
+  uint32_t n;
+  if (!Get32(payload, &off, &n)) return Truncated("table count");
+  for (uint32_t i = 0; i < n; ++i) {
+    CatalogImage::Table t;
+    if (!Get16(payload, &off, &t.id) || !GetString(payload, &off, &t.name) ||
+        !Get64(payload, &off, &t.key_space) ||
+        !Get32(payload, &off, &t.dora_executors)) {
+      return Truncated("table entry");
+    }
+    out->tables.push_back(std::move(t));
+  }
+  if (!Get32(payload, &off, &n)) return Truncated("index count");
+  for (uint32_t i = 0; i < n; ++i) {
+    CatalogImage::Index x;
+    uint8_t unique, secondary;
+    uint16_t field_count;
+    if (!Get16(payload, &off, &x.id) || !GetString(payload, &off, &x.name) ||
+        !Get16(payload, &off, &x.table_id) ||
+        !Get8(payload, &off, &unique) || !Get8(payload, &off, &secondary) ||
+        !Get16(payload, &off, &x.key_spec.aux_offset) ||
+        !Get8(payload, &off, &x.key_spec.aux_width) ||
+        !Get16(payload, &off, &field_count)) {
+      return Truncated("index entry");
+    }
+    x.unique = unique != 0;
+    x.secondary = secondary != 0;
+    for (uint16_t f = 0; f < field_count; ++f) {
+      IndexKeyField field;
+      uint8_t kind;
+      if (!Get16(payload, &off, &field.offset) ||
+          !Get8(payload, &off, &field.width) || !Get8(payload, &off, &kind)) {
+        return Truncated("key field");
+      }
+      field.kind = static_cast<IndexKeyField::Kind>(kind);
+      x.key_spec.fields.push_back(field);
+    }
+    out->indexes.push_back(std::move(x));
+  }
+  return Status::OK();
+}
+
+Status CatalogStore::Save(const CatalogImage& img) {
+  std::vector<uint8_t> bytes;
+  Serialize(img, &bytes);
+
+  const std::string tmp = path_ + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("catalog: open failed: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  size_t put = 0;
+  while (put < bytes.size()) {
+    const ssize_t w = ::write(fd, bytes.data() + put, bytes.size() - put);
+    if (w <= 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return Status::IOError("catalog: write failed: " + tmp);
+    }
+    put += static_cast<size_t>(w);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("catalog: fsync failed: " + tmp);
+  }
+  ::close(fd);
+  // Acquire the directory fd BEFORE the rename: an open failure (EMFILE,
+  // ...) is then an ordinary, rollback-able error — nothing has replaced
+  // catalog.db yet.
+  const int dfd = ::open(dir_.c_str(), O_RDONLY);
+  if (dfd < 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("catalog: directory open failed: " + dir_ + ": " +
+                           std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path_.c_str()) != 0) {
+    ::close(dfd);
+    ::unlink(tmp.c_str());
+    return Status::IOError("catalog: rename failed: " + path_);
+  }
+  // Persist the directory entry so the rename survives power loss. The
+  // rename has already replaced catalog.db, so a failure HERE cannot be
+  // reported as an error: the caller would roll its DDL back in memory
+  // while the new schema is (probably) durable on disk, and the two views
+  // would diverge. Durability is no longer reasonable to claim either
+  // way — fail fast, like the storage layer's media do (disk_manager
+  // open, segment rename).
+  if (::fsync(dfd) != 0) {
+    std::fprintf(stderr,
+                 "catalog: directory fsync failed after rename: %s: %s\n",
+                 dir_.c_str(), std::strerror(errno));
+    std::abort();
+  }
+  ::close(dfd);
+  return Status::OK();
+}
+
+Status CatalogStore::Load(CatalogImage* out) const {
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("catalog: open failed: " + path_ + ": " +
+                           std::strerror(errno));
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t buf[4096];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      ::close(fd);
+      return Status::IOError("catalog: read failed: " + path_);
+    }
+    if (r == 0) break;
+    bytes.insert(bytes.end(), buf, buf + r);
+  }
+  ::close(fd);
+  const Status s = Deserialize(bytes, out);
+  if (!s.ok()) {
+    return Status::Corruption(s.ToString() + " (" + path_ + ")");
+  }
+  return s;
+}
+
+namespace {
+
+// Structural validation of a decoded image BEFORE any DDL is issued, so a
+// replay either applies completely or touches nothing — the caller's
+// "a bad catalog leaves the catalog empty" invariant. Ids must be
+// contiguous in entry order (ids are positional), names unique, and every
+// index's table in range; with those facts established, the create calls
+// below cannot fail against an empty catalog.
+Status ValidateImage(const CatalogImage& img) {
+  for (size_t i = 0; i < img.tables.size(); ++i) {
+    const auto& t = img.tables[i];
+    if (t.id != static_cast<TableId>(i)) {
+      return Status::Corruption("catalog: non-contiguous table ids");
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (img.tables[j].name == t.name) {
+        return Status::Corruption("catalog: duplicate table name '" +
+                                  t.name + "'");
+      }
+    }
+  }
+  // Bound the config values a replay would act on: a CRC-valid file from
+  // a buggy or hostile writer must still get a named rejection, not drive
+  // reopen into resource exhaustion (executors sizes a thread-spawning
+  // loop) or silent misdecoding (an unknown field kind).
+  for (const auto& t : img.tables) {
+    if (t.dora_executors > kMaxDoraExecutors) {
+      return Status::Corruption("catalog: implausible executor count " +
+                                std::to_string(t.dora_executors) +
+                                " for table '" + t.name + "'");
+    }
+  }
+  for (size_t i = 0; i < img.indexes.size(); ++i) {
+    const auto& x = img.indexes[i];
+    if (x.id != static_cast<IndexId>(i)) {
+      return Status::Corruption("catalog: non-contiguous index ids");
+    }
+    if (x.table_id >= img.tables.size()) {
+      return Status::Corruption("catalog: index '" + x.name +
+                                "' references unknown table id " +
+                                std::to_string(x.table_id));
+    }
+    // Same rules CreateIndex enforces at DDL time (IndexKeySpec::Validate)
+    // — a spec can only get here from a foreign or corrupted writer.
+    const Status sv = x.key_spec.Validate();
+    if (!sv.ok()) {
+      return Status::Corruption("catalog: index '" + x.name +
+                                "': " + sv.ToString());
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (img.indexes[j].name == x.name) {
+        return Status::Corruption("catalog: duplicate index name '" +
+                                  x.name + "'");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ReplayCatalogImage(const CatalogImage& img, Catalog* catalog) {
+  DORADB_RETURN_NOT_OK(ValidateImage(img));
+  for (const auto& t : img.tables) {
+    TableId id;
+    DORADB_RETURN_NOT_OK(catalog->CreateTable(t.name, &id));
+    if (id != t.id) {
+      return Status::Corruption("catalog: replay id mismatch for table '" +
+                                t.name + "'");
+    }
+    if (t.dora_executors != 0) {
+      DORADB_RETURN_NOT_OK(
+          catalog->SetDoraConfig(id, t.key_space, t.dora_executors));
+    }
+  }
+  for (const auto& i : img.indexes) {
+    IndexId id;
+    DORADB_RETURN_NOT_OK(catalog->CreateIndex(i.table_id, i.name, i.unique,
+                                              i.secondary, i.key_spec, &id));
+    if (id != i.id) {
+      return Status::Corruption("catalog: replay id mismatch for index '" +
+                                i.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace doradb

@@ -1,0 +1,111 @@
+// CatalogStore: the durable, self-describing catalog file.
+//
+// `<data_dir>/catalog.db` holds everything a fresh process needs to rebuild
+// the Catalog — and, through it, the DORA routing/executor wiring — before
+// replaying the WAL: table and index names, their creation-order ids, each
+// index's declarative key schema (IndexKeySpec) and uniqueness/secondary
+// flags, and each table's routing configuration (key space + executor
+// count). This closes the reopen contract the ROADMAP called out: the
+// application no longer re-creates its schema before Recover(); the data
+// directory describes itself (the same role the catalog plays for
+// partition/routing setup in H-Store-style systems, and stored per-queue
+// schema plays in queue-oriented designs).
+//
+// File format (little-endian), one 32-byte header + one payload:
+//
+//   [magic u64 'DORACAT1'][version u32][pad u32]
+//   [payload_len u64][payload_crc u32][pad u32]
+//   payload:
+//     u32 table_count
+//       per table:  u16 id | u16 name_len | name bytes
+//                   u64 key_space | u32 dora_executors
+//     u32 index_count
+//       per index:  u16 id | u16 name_len | name bytes | u16 table_id
+//                   u8 unique | u8 secondary | u16 aux_offset | u8 aux_width
+//                   u16 field_count | per field: u16 offset, u8 width, u8 kind
+//
+// Entries are stored in id order, which IS creation order (catalog ids are
+// positional), so replaying the image re-issues identical ids.
+//
+// Durability: Save() writes a temp file, fsyncs it, renames it over
+// catalog.db, and fsyncs the directory — a torn write can never replace a
+// good catalog. Load() rejects a bad magic, a format version it does not
+// speak, a payload CRC mismatch, or a truncated entry with a named
+// Corruption status ("catalog: ..."), which Database::Recover surfaces
+// instead of silently misrouting over a half-read schema.
+
+#ifndef DORADB_STORAGE_CATALOG_STORE_H_
+#define DORADB_STORAGE_CATALOG_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/catalog.h"
+#include "util/status.h"
+
+namespace doradb {
+
+// Plain-data image of the catalog metadata: what the file stores, nothing
+// the file cannot rebuild (heap page lists are rediscovered from pages.db,
+// B+Trees are derived state re-created empty and rebuilt after redo).
+struct CatalogImage {
+  struct Table {
+    TableId id = 0;
+    std::string name;
+    uint64_t key_space = 0;
+    uint32_t dora_executors = 0;
+  };
+  struct Index {
+    IndexId id = 0;
+    std::string name;
+    TableId table_id = 0;
+    bool unique = false;
+    bool secondary = false;
+    IndexKeySpec key_spec;
+  };
+  std::vector<Table> tables;    // id order == creation order
+  std::vector<Index> indexes;   // id order == creation order
+};
+
+class CatalogStore {
+ public:
+  static constexpr uint64_t kMagic = 0x31544143'41524F44ull;  // "DORACAT1"
+  static constexpr uint32_t kFormatVersion = 1;
+  static constexpr size_t kHeaderSize = 32;
+
+  // `data_dir` is created if missing; the file is `<data_dir>/catalog.db`.
+  explicit CatalogStore(const std::string& data_dir);
+
+  const std::string& path() const { return path_; }
+  bool Exists() const;
+
+  // Atomically replace the catalog file with `img` (tmp + fsync + rename +
+  // directory fsync).
+  Status Save(const CatalogImage& img);
+
+  // Read and validate the file. Named errors: "catalog: bad magic",
+  // "catalog: format version mismatch", "catalog: checksum mismatch",
+  // "catalog: truncated ...".
+  Status Load(CatalogImage* out) const;
+
+  // Wire codec, exposed for tests.
+  static void Serialize(const CatalogImage& img, std::vector<uint8_t>* out);
+  static Status Deserialize(const std::vector<uint8_t>& bytes,
+                            CatalogImage* out);
+
+ private:
+  std::string dir_;
+  std::string path_;
+};
+
+// Re-issue the image's DDL against an empty catalog, in creation order,
+// verifying that every re-created id matches the stored one. Called by the
+// Database constructor on reopen, after the page allocator has been raised
+// past every logged page id (index roots allocate eagerly) and before any
+// application code or recovery runs.
+Status ReplayCatalogImage(const CatalogImage& img, Catalog* catalog);
+
+}  // namespace doradb
+
+#endif  // DORADB_STORAGE_CATALOG_STORE_H_

@@ -1,8 +1,13 @@
 #include "workloads/tm1/tm1.h"
 
+#include <cstddef>
+
 namespace doradb {
 namespace tm1 {
 
+// Key specs mirror the Key() builders below field-for-field (and every
+// leaf carries the routing field s_id in aux), so a durable catalog can
+// rebuild these indexes from the heaps at restart without workload code.
 Status Schema::Create(Database* db) {
   Catalog* cat = db->catalog();
   DORADB_RETURN_NOT_OK(cat->CreateTable("tm1_subscriber", &subscriber));
@@ -11,19 +16,38 @@ Status Schema::Create(Database* db) {
       cat->CreateTable("tm1_special_facility", &special_facility));
   DORADB_RETURN_NOT_OK(
       cat->CreateTable("tm1_call_forwarding", &call_forwarding));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(subscriber, "tm1_sub_pk", true, false, &sub_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      subscriber, "tm1_sub_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(SubscriberRow, s_id), 8)
+          .Aux(offsetof(SubscriberRow, s_id)),
+      &sub_pk));
   // The sub_nbr index is the benchmark's non-routing-aligned access path:
   // a DORA "secondary action" index whose leaves carry the routing field
   // (s_id) in aux (§4.2.2).
-  DORADB_RETURN_NOT_OK(cat->CreateIndex(subscriber, "tm1_sub_nbr", true,
-                                        true, &sub_nbr_idx));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(access_info, "tm1_ai_pk", true, false, &ai_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(special_facility, "tm1_sf_pk", true, false, &sf_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(call_forwarding, "tm1_cf_pk", true, false, &cf_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      subscriber, "tm1_sub_nbr", true, true,
+      IndexKeySpec{}.Bytes(offsetof(SubscriberRow, sub_nbr), 15)
+          .Aux(offsetof(SubscriberRow, s_id)),
+      &sub_nbr_idx));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      access_info, "tm1_ai_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(AccessInfoRow, s_id), 8)
+          .Uint(offsetof(AccessInfoRow, ai_type), 1)
+          .Aux(offsetof(AccessInfoRow, s_id)),
+      &ai_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      special_facility, "tm1_sf_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(SpecialFacilityRow, s_id), 8)
+          .Uint(offsetof(SpecialFacilityRow, sf_type), 1)
+          .Aux(offsetof(SpecialFacilityRow, s_id)),
+      &sf_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      call_forwarding, "tm1_cf_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(CallForwardingRow, s_id), 8)
+          .Uint(offsetof(CallForwardingRow, sf_type), 1)
+          .Uint(offsetof(CallForwardingRow, start_time), 1)
+          .Aux(offsetof(CallForwardingRow, s_id)),
+      &cf_pk));
   return Status::OK();
 }
 

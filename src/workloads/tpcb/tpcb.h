@@ -47,7 +47,13 @@ struct Schema {
   TableId branch, teller, account, history;
   IndexId branch_pk, teller_pk, account_pk;
 
+  // Fresh database: create tables + indexes (with IndexKeySpecs, so a
+  // durable catalog can rebuild the indexes at restart by itself).
   Status Create(Database* db);
+
+  // Reopened database: bind ids from the recovered catalog by name — no
+  // DDL. Fails with kNotFound if the directory's catalog is not TPC-B's.
+  Status Attach(Database* db);
 
   static std::string Key(uint64_t id) {
     KeyBuilder kb;
@@ -70,10 +76,10 @@ class TpcbWorkload : public Workload {
 
   std::string name() const override { return "TPC-B"; }
   Status Load() override;
-  // Create the schema WITHOUT loading rows: the reopen path. A database
-  // recovered from a data directory gets its tables re-registered (ids are
-  // deterministic by creation order) so Recover() can adopt their pages.
-  Status Attach() { return schema_.Create(db_); }
+  // The reopen path: bind schema ids from the catalog the Database
+  // recovered out of <data_dir>/catalog.db. No DDL, no loading — the
+  // data directory describes itself.
+  Status Attach() { return schema_.Attach(db_); }
   void SetupDora(dora::DoraEngine* engine) override;
   uint32_t NumTxnTypes() const override { return 1; }
   const char* TxnName(uint32_t) const override { return "AccountUpdate"; }

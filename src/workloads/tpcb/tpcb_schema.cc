@@ -1,20 +1,65 @@
 #include "workloads/tpcb/tpcb.h"
 
+#include <cstddef>
+
 namespace doradb {
 namespace tpcb {
 
+// Every TPC-B primary key is Add64 of the row's leading id field, and every
+// leaf entry carries the branch id (the routing field) in aux — declared to
+// the catalog as IndexKeySpecs so a reopened lifetime can rebuild the
+// indexes from the heaps without this file's help.
 Status Schema::Create(Database* db) {
   Catalog* cat = db->catalog();
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_branch", &branch));
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_teller", &teller));
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_account", &account));
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcb_history", &history));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(branch, "tpcb_branch_pk", true, false, &branch_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(teller, "tpcb_teller_pk", true, false, &teller_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(account, "tpcb_account_pk", true, false, &account_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      branch, "tpcb_branch_pk", true, false,
+      IndexKeySpec::U64At(offsetof(BranchRow, b_id), offsetof(BranchRow, b_id)),
+      &branch_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      teller, "tpcb_teller_pk", true, false,
+      IndexKeySpec::U64At(offsetof(TellerRow, t_id), offsetof(TellerRow, b_id)),
+      &teller_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      account, "tpcb_account_pk", true, false,
+      IndexKeySpec::U64At(offsetof(AccountRow, a_id),
+                          offsetof(AccountRow, b_id)),
+      &account_pk));
+  return Status::OK();
+}
+
+Status Schema::Attach(Database* db) {
+  Catalog* cat = db->catalog();
+  const struct {
+    const char* table;
+    TableId* tid;
+    const char* index;  // nullptr: no primary index (history)
+    IndexId* iid;
+  } entries[] = {
+      {"tpcb_branch", &branch, "tpcb_branch_pk", &branch_pk},
+      {"tpcb_teller", &teller, "tpcb_teller_pk", &teller_pk},
+      {"tpcb_account", &account, "tpcb_account_pk", &account_pk},
+      {"tpcb_history", &history, nullptr, nullptr},
+  };
+  for (const auto& e : entries) {
+    TableInfo* t = cat->GetTable(e.table);
+    if (t == nullptr) {
+      return Status::NotFound(std::string("recovered catalog has no '") +
+                              e.table + "' (not a TPC-B data directory?)");
+    }
+    *e.tid = t->id;
+    if (e.index != nullptr) {
+      IndexInfo* i = cat->GetIndex(e.index);
+      if (i == nullptr) {
+        return Status::NotFound(std::string("recovered catalog has no '") +
+                                e.index + "'");
+      }
+      *e.iid = i->id;
+    }
+  }
   return Status::OK();
 }
 

@@ -1,8 +1,15 @@
 #include "workloads/tpcc/tpcc.h"
 
+#include <cstddef>
+
 namespace doradb {
 namespace tpcc {
 
+// Key specs mirror the Key() builders below field-for-field; aux mirrors
+// what the insert sites store (warehouse id almost everywhere, item id for
+// Item, customer id for the by-name customer index), so a durable catalog
+// can rebuild every index from the heaps at restart without workload code
+// and a rebuilt entry is byte-identical to a live-inserted one.
 Status Schema::Create(Database* db) {
   Catalog* cat = db->catalog();
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_warehouse", &warehouse));
@@ -15,28 +22,74 @@ Status Schema::Create(Database* db) {
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_item", &item));
   DORADB_RETURN_NOT_OK(cat->CreateTable("tpcc_stock", &stock));
 
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(warehouse, "tpcc_wh_pk", true, false, &wh_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(district, "tpcc_di_pk", true, false, &di_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(customer, "tpcc_cu_pk", true, false, &cu_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      warehouse, "tpcc_wh_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(WarehouseRow, w_id), 4)
+          .Aux(offsetof(WarehouseRow, w_id), 4),
+      &wh_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      district, "tpcc_di_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(DistrictRow, w_id), 4)
+          .Uint(offsetof(DistrictRow, d_id), 1)
+          .Aux(offsetof(DistrictRow, w_id), 4),
+      &di_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      customer, "tpcc_cu_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(CustomerRow, w_id), 4)
+          .Uint(offsetof(CustomerRow, d_id), 1)
+          .Uint(offsetof(CustomerRow, c_id), 4)
+          .Aux(offsetof(CustomerRow, w_id), 4),
+      &cu_pk));
   // Key embeds (w, d, last): routing-aligned, so probes to it are NOT
   // secondary actions (paper §4.1.2 discussion of the Payment example).
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(customer, "tpcc_cu_name", false, false, &cu_name));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(order, "tpcc_or_pk", true, false, &or_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(order, "tpcc_or_cust", true, false, &or_cust));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(new_order, "tpcc_no_pk", true, false, &no_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(order_line, "tpcc_ol_pk", true, false, &ol_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(item, "tpcc_it_pk", true, false, &it_pk));
-  DORADB_RETURN_NOT_OK(
-      cat->CreateIndex(stock, "tpcc_st_pk", true, false, &st_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      customer, "tpcc_cu_name", false, false,
+      IndexKeySpec{}.Uint(offsetof(CustomerRow, w_id), 4)
+          .Uint(offsetof(CustomerRow, d_id), 1)
+          .Bytes(offsetof(CustomerRow, last), 16)
+          .Aux(offsetof(CustomerRow, c_id), 4),
+      &cu_name));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      order, "tpcc_or_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(OrderRow, w_id), 4)
+          .Uint(offsetof(OrderRow, d_id), 1)
+          .Uint(offsetof(OrderRow, o_id), 4)
+          .Aux(offsetof(OrderRow, w_id), 4),
+      &or_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      order, "tpcc_or_cust", true, false,
+      IndexKeySpec{}.Uint(offsetof(OrderRow, w_id), 4)
+          .Uint(offsetof(OrderRow, d_id), 1)
+          .Uint(offsetof(OrderRow, c_id), 4)
+          .Uint(offsetof(OrderRow, o_id), 4)
+          .Aux(offsetof(OrderRow, w_id), 4),
+      &or_cust));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      new_order, "tpcc_no_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(NewOrderRow, w_id), 4)
+          .Uint(offsetof(NewOrderRow, d_id), 1)
+          .Uint(offsetof(NewOrderRow, o_id), 4)
+          .Aux(offsetof(NewOrderRow, w_id), 4),
+      &no_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      order_line, "tpcc_ol_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(OrderLineRow, w_id), 4)
+          .Uint(offsetof(OrderLineRow, d_id), 1)
+          .Uint(offsetof(OrderLineRow, o_id), 4)
+          .Uint(offsetof(OrderLineRow, ol_number), 1)
+          .Aux(offsetof(OrderLineRow, w_id), 4),
+      &ol_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      item, "tpcc_it_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(ItemRow, i_id), 4)
+          .Aux(offsetof(ItemRow, i_id), 4),
+      &it_pk));
+  DORADB_RETURN_NOT_OK(cat->CreateIndex(
+      stock, "tpcc_st_pk", true, false,
+      IndexKeySpec{}.Uint(offsetof(StockRow, w_id), 4)
+          .Uint(offsetof(StockRow, i_id), 4)
+          .Aux(offsetof(StockRow, w_id), 4),
+      &st_pk));
   return Status::OK();
 }
 

@@ -370,10 +370,15 @@ TEST(CkptTest, TwoLifetimeReopenRecoversCommittedState) {
     db.SimulateCrash();
   }
 
-  // Lifetime 2: reopen from the directory, recover, verify, extend.
+  // Lifetime 2: reopen from the directory, recover, verify, extend. The
+  // schema is NOT re-created — the durable catalog restores it before
+  // Recover() runs.
   {
     Database db(opts);
-    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    ASSERT_EQ(db.catalog()->num_tables(), 1u)
+        << "catalog.db must restore the schema at construction";
+    ASSERT_NE(db.catalog()->GetTable("t"), nullptr);
+    table = db.catalog()->GetTable("t")->id;
     ASSERT_TRUE(db.Recover(nullptr).ok());
     EXPECT_EQ(db.catalog()->Heap(table)->record_count(), 31u)
         << "all committed rows must be rebuilt from disk alone";
@@ -397,23 +402,26 @@ TEST(CkptTest, TwoLifetimeReopenRecoversCommittedState) {
     ASSERT_TRUE(db.Commit(txn.get()).ok());
   }
 
-  // Lifetime 3: a clean shutdown must also reopen consistently.
+  // Lifetime 3: a clean shutdown must also reopen consistently — again
+  // with no schema re-creation.
   {
     Database db(opts);
-    ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+    ASSERT_NE(db.catalog()->GetTable("t"), nullptr);
+    table = db.catalog()->GetTable("t")->id;
     ASSERT_TRUE(db.Recover(nullptr).ok());
     EXPECT_EQ(db.catalog()->Heap(table)->record_count(), 32u);
   }
 }
 
 TEST(CkptTest, ReopenWithEagerIndexRootsDoesNotReuseLoggedPageIds) {
-  // Regression: a reopened lifetime re-creates its schema BEFORE Recover,
+  // Regression: a reopened lifetime replays its catalog BEFORE Recover,
   // and CreateIndex eagerly allocates a B+Tree root page. The dead
   // lifetime's heap pages can sit beyond pages.db EOF (acked on WAL only,
   // never flushed), so a naive allocator would hand the root one of those
   // logged page ids — and redo would re-Init the frame as a heap page,
   // clobbering the root. The Database constructor must raise the page
-  // allocator past every page id the recovered log references.
+  // allocator past every page id the recovered log references before the
+  // catalog replay runs.
   // The collision needs pages.db EOF to sit strictly between the flushed
   // pages and the dead lifetime's allocation frontier: big rows (few per
   // page), a checkpoint mid-run (flushes the pages so far = the EOF),
@@ -456,11 +464,14 @@ TEST(CkptTest, ReopenWithEagerIndexRootsDoesNotReuseLoggedPageIds) {
     db.SimulateKill();
   }
   Database db(opts);
-  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
-  // Without the constructor's allocator bump this root would be handed
-  // the first page id past pages.db EOF — a WAL-only heap page.
-  ASSERT_TRUE(
-      db.catalog()->CreateIndex(table, "t_pk", true, false, &index).ok());
+  // The catalog replay re-creates the schema inside the constructor; the
+  // eager B+Tree root it allocates would be handed the first page id past
+  // pages.db EOF — a WAL-only heap page — without the allocator bump,
+  // which the constructor performs BEFORE the replay.
+  ASSERT_NE(db.catalog()->GetTable("t"), nullptr);
+  table = db.catalog()->GetTable("t")->id;
+  ASSERT_NE(db.catalog()->GetIndex("t_pk"), nullptr);
+  index = db.catalog()->GetIndex("t_pk")->id;
   ASSERT_TRUE(db.Recover([&](Database* d) {
     // Schema-aware index rebuild, as a workload would do.
     return d->catalog()->Heap(table)->Scan(
@@ -503,7 +514,9 @@ TEST(CkptTest, CentralFileBackendReopenRecovers) {
     db.SimulateCrash();
   }
   Database db(opts);
-  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  // Central backend, same contract: schema restored from catalog.db.
+  ASSERT_NE(db.catalog()->GetTable("t"), nullptr);
+  table = db.catalog()->GetTable("t")->id;
   ASSERT_TRUE(db.Recover(nullptr).ok());
   for (int i = 0; i < 20; ++i) {
     std::string out;

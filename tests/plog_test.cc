@@ -843,7 +843,12 @@ TEST(PlogPropertyTest, FileBackendCrashLoopAcrossLifetimes) {
         pending.clear();
         db.reset();  // the process is gone
         db = std::make_unique<Database>(opts);  // second lifetime
-        ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+        // Self-contained reopen: the schema comes back from catalog.db —
+        // the fresh lifetime never re-declares it.
+        ASSERT_TRUE(db->catalog_load_status().ok())
+            << db->catalog_load_status().ToString();
+        ASSERT_NE(db->catalog()->GetTable("t"), nullptr);
+        table = db->catalog()->GetTable("t")->id;
       } else {
         db->SimulateCrash();
         for (auto& p : pending) db->txn_manager()->Finish(p.txn.get());
