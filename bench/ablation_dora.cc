@@ -30,6 +30,11 @@ int main() {
     }
     std::printf("%-12u %14.0f %16lu\n", n, r.throughput_tps,
                 static_cast<unsigned long>(conflicts));
+    BenchJson::Default().Add(JsonRow()
+                                 .Str("section", "executors_per_table")
+                                 .Int("executors", n)
+                                 .Num("tps", r.throughput_tps)
+                                 .Int("local_conflicts", conflicts));
   }
 
   // 2. Serial-plan (extra RVP) overhead on an abort-free transaction.
@@ -51,6 +56,12 @@ int main() {
       std::printf("%-10s %14.0f\n",
                   mode == tm1::PlanMode::kParallel ? "parallel" : "serial",
                   r.throughput_tps);
+      BenchJson::Default().Add(
+          JsonRow()
+              .Str("section", "plan_rvp_overhead")
+              .Str("plan",
+                   mode == tm1::PlanMode::kParallel ? "parallel" : "serial")
+              .Num("tps", r.throughput_tps));
     }
   }
 
@@ -77,11 +88,21 @@ int main() {
                       ? r.raw_delta.Locks(LockCounter::kRowLevel) / txns
                       : 0,
                   r.breakdown.Row().c_str());
+      BenchJson::Default().Add(
+          JsonRow()
+              .Str("section", "rid_lock_residue")
+              .Str("txn", c.name)
+              .Num("tps", r.throughput_tps)
+              .Num("row_locks_per100",
+                   txns > 0
+                       ? r.raw_delta.Locks(LockCounter::kRowLevel) / txns
+                       : 0));
     }
   }
   std::printf(
       "\nreading: more executors help only when cores are free; serial\n"
       "plans cost one RVP hand-off per action; inserts reintroduce a small\n"
       "amount of centralized locking (row locks only, uncontended).\n");
+  BenchJson::Default().Emit("ablation_dora");
   return 0;
 }

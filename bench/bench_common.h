@@ -25,6 +25,14 @@
 //   DORADB_DATA_DIR       base directory; every rig gets a fresh private
 //                         subdirectory under it (empty = in-memory media)
 //   DORADB_LOG_SEGMENT_BYTES  segment roll target     (default 262144)
+//
+// Observability knobs (src/obs/):
+//   DORADB_METRICS        0 = disable the metrics hot path (default 1)
+//   DORADB_STATS_INTERVAL_MS  >0: every rig's Database runs a reporter
+//                         thread printing "DORADB_STATS {json}" lines to
+//                         stderr at this cadence (default 0 = off)
+//   DORADB_TRACE_RING     >0: enable the commit-path tracer with rings of
+//                         this many events per thread (default 0 = off)
 
 #ifndef DORADB_BENCH_BENCH_COMMON_H_
 #define DORADB_BENCH_BENCH_COMMON_H_
@@ -39,6 +47,8 @@
 
 #include "dora/dora_engine.h"
 #include "engine/database.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "workloads/common/driver.h"
 #include "workloads/tm1/tm1.h"
@@ -116,7 +126,21 @@ inline std::string ClaimRigDataDir() {
   return dir;
 }
 
+// Process-wide observability switches. Applied once: the tracer's Enable
+// clears every ring, so re-applying per rig would drop the spans collected
+// by earlier rigs in the same binary.
+inline void ApplyObsEnv() {
+  static const bool applied = [] {
+    if (EnvU64("DORADB_METRICS", 1) == 0) obs::SetMetricsEnabled(false);
+    const uint64_t ring = EnvU64("DORADB_TRACE_RING", 0);
+    if (ring > 0) obs::CommitTracer::Enable(static_cast<size_t>(ring));
+    return true;
+  }();
+  (void)applied;
+}
+
 inline Database::Options DbOptions() {
+  ApplyObsEnv();
   Database::Options o;
   o.buffer_frames = 1 << 15;  // 256 MiB
   o.lock.wait_timeout_us = 1000000;
@@ -126,6 +150,7 @@ inline Database::Options DbOptions() {
       static_cast<uint32_t>(EnvU64("DORADB_LOG_PARTITIONS", 4));
   o.data_dir = ClaimRigDataDir();
   o.log_segment_bytes = EnvU64("DORADB_LOG_SEGMENT_BYTES", 1 << 18);
+  o.stats_interval_ms = EnvU64("DORADB_STATS_INTERVAL_MS", 0);
   return o;
 }
 
@@ -247,6 +272,102 @@ inline void PrintInboxStats(const dora::DoraEngine::InboxStats& d) {
       d.wakeups_per_action(), static_cast<unsigned long long>(d.tickets),
       static_cast<unsigned long long>(d.arena_recycles));
 }
+
+// --- machine-readable results ---------------------------------------------
+// Every bench binary ends with exactly one line of the form
+//   BENCH_JSON {"bench":"<name>","hw_contexts":N,"window_ms":N,"rows":[...]}
+// so sweeps can be scraped without parsing the human tables. Row fields are
+// per-bench; rows built from a BenchResult share the standard set below.
+
+inline std::string JsonNum(double v) {
+  if (!(v == v) || v > 1e300 || v < -1e300) return "0";  // NaN/inf guard
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+class JsonRow {
+ public:
+  JsonRow& Str(const char* key, const std::string& v) {
+    Key(key);
+    body_ += '"';
+    for (char c : v) {
+      if (c == '"' || c == '\\') body_ += '\\';
+      if (static_cast<unsigned char>(c) < 0x20) continue;  // keep it simple
+      body_ += c;
+    }
+    body_ += '"';
+    return *this;
+  }
+  JsonRow& Num(const char* key, double v) {
+    Key(key);
+    body_ += JsonNum(v);
+    return *this;
+  }
+  JsonRow& Int(const char* key, uint64_t v) {
+    Key(key);
+    body_ += std::to_string(v);
+    return *this;
+  }
+  std::string Done() const { return "{" + body_ + "}"; }
+
+ private:
+  void Key(const char* key) {
+    if (!body_.empty()) body_ += ',';
+    body_ += '"';
+    body_ += key;
+    body_ += "\":";
+  }
+  std::string body_;
+};
+
+inline const char* EngineName(EngineKind kind) {
+  return kind == EngineKind::kBaseline ? "base" : "dora";
+}
+
+inline JsonRow ResultRow(const char* workload, const char* engine,
+                         uint32_t clients, const BenchResult& r) {
+  JsonRow row;
+  row.Str("workload", workload)
+      .Str("engine", engine)
+      .Int("clients", clients)
+      .Num("load_pct", r.offered_load_pct)
+      .Num("tps", r.throughput_tps)
+      .Int("committed", r.committed)
+      .Int("user_aborts", r.user_aborts)
+      .Int("system_aborts", r.system_aborts)
+      .Int("latency_p50_ns", r.latency->Percentile(50))
+      .Int("latency_p99_ns", r.latency->Percentile(99));
+  return row;
+}
+
+class BenchJson {
+ public:
+  static BenchJson& Default() {
+    static BenchJson b;
+    return b;
+  }
+  void Add(const JsonRow& row) { rows_.push_back(row.Done()); }
+  // Print the single BENCH_JSON line (call once, last thing in main).
+  void Emit(const char* bench) {
+    std::string out = "{\"bench\":\"";
+    out += bench;
+    out += "\",\"hw_contexts\":" + std::to_string(HardwareContexts());
+    out += ",\"window_ms\":" + std::to_string(BenchMs());
+    out += ",\"rows\":[";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (i > 0) out += ',';
+      out += rows_[i];
+    }
+    out += "]}";
+    std::printf("BENCH_JSON %s\n", out.c_str());
+    std::fflush(stdout);
+    rows_.clear();
+  }
+
+ private:
+  std::vector<std::string> rows_;
+};
 
 inline void PrintHeader(const char* fig, const char* desc) {
   std::printf("=============================================================\n");

@@ -46,6 +46,13 @@ double RunTraced(const char* csv_path, tpcc::TpccWorkload* workload,
   std::printf("%-8s events=%-8zu districts=%-4zu avg_threads_per_district=%.2f -> %s\n",
               kind == EngineKind::kBaseline ? "BASE" : "DORA", events.size(),
               threads_per_district.size(), avg, csv_path);
+  BenchJson::Default().Add(
+      JsonRow()
+          .Str("engine", EngineName(kind))
+          .Int("events", events.size())
+          .Int("districts", threads_per_district.size())
+          .Num("avg_threads_per_district", avg)
+          .Str("csv", csv_path));
   return avg;
 }
 
@@ -69,5 +76,6 @@ int main() {
       "(avg approaches %u); DORA coordinates accesses so each district is\n"
       "owned by ~1 thread. measured: BASE=%.2f DORA=%.2f\n",
       workers, base, dora);
+  BenchJson::Default().Emit("fig10_access_trace");
   return 0;
 }

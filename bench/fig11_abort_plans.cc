@@ -49,6 +49,12 @@ int main() {
       dora_s = r.throughput_tps;
     }
     std::printf("%-10.0f %14.0f %14.0f %14.0f\n", load, base, dora_p, dora_s);
+    BenchJson::Default().Add(JsonRow()
+                                 .Int("clients", clients)
+                                 .Num("load_pct", load)
+                                 .Num("base_tps", base)
+                                 .Num("dora_parallel_tps", dora_p)
+                                 .Num("dora_serial_tps", dora_s));
   }
 
   // §A.4: the resource manager detects the high abort rate and switches to
@@ -71,5 +77,17 @@ int main() {
   std::printf(
       "\nexpected shape: DORA-S >= DORA-P (no wasted sibling work on the\n"
       "37.5%% of transactions that abort); the advisor picks serial.\n");
+  BenchJson::Default().Add(
+      JsonRow()
+          .Str("engine", "dora_auto")
+          .Num("tps", r.throughput_tps)
+          .Num("abort_rate", rig.workload->plan_advisor().AbortRate(
+                                 tm1::kUpdateSubscriberData))
+          .Int("advisor_serial",
+               rig.workload->plan_advisor().RecommendSerial(
+                   tm1::kUpdateSubscriberData)
+                   ? 1
+                   : 0));
+  BenchJson::Default().Emit("fig11_abort_plans");
   return 0;
 }

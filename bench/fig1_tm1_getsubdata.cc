@@ -28,6 +28,8 @@ int main() {
                   r.offered_load_pct, r.throughput_tps,
                   r.throughput_tps / (r.offered_load_pct / 100.0),
                   r.breakdown.Row().c_str());
+      BenchJson::Default().Add(
+          ResultRow("tm1_get_subscriber_data", EngineName(kind), clients, r));
     }
     std::printf("\n");
   }
@@ -36,5 +38,6 @@ int main() {
       "lockmgr(+cont) share grows; DORA shows near-zero lock manager time\n"
       "(the 'dora' class replaces it). On few-core hosts DORA's absolute\n"
       "tps is hand-off-bound; see the scaling caveat in EXPERIMENTS.md.\n");
+  BenchJson::Default().Emit("fig1_tm1_getsubdata");
   return 0;
 }

@@ -26,6 +26,8 @@ void RunPair(const char* label, W* workload, dora::DoraEngine* engine,
     std::printf("%-8s tps=%10.0f  %s\n",
                 kind == EngineKind::kBaseline ? "BASE" : "DORA",
                 r.throughput_tps, r.breakdown.Row().c_str());
+    BenchJson::Default().Add(ResultRow(label, EngineName(kind), clients, r)
+                                 .Str("breakdown", r.breakdown.Row()));
   }
 }
 
@@ -46,5 +48,6 @@ int main() {
       "\nexpected shape: BASE shows a large lockmgr(+cont) share; DORA's\n"
       "lockmgr share is ~0 and its replacement 'dora' share is smaller than\n"
       "even the uncontended Baseline lock manager time.\n");
+  BenchJson::Default().Emit("fig2_breakdown_saturated");
   return 0;
 }

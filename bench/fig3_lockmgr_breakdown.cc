@@ -23,10 +23,14 @@ int main() {
         MakeConfig(EngineKind::kBaseline, rig.engine.get(), clients));
     std::printf("%-10.0f %12.0f  %s\n", r.offered_load_pct, r.throughput_tps,
                 r.breakdown.LockManagerRow().c_str());
+    BenchJson::Default().Add(
+        ResultRow("tpcb", "base", clients, r)
+            .Str("lockmgr_breakdown", r.breakdown.LockManagerRow()));
   }
   std::printf(
       "\nexpected shape: at low load acquire+release dominate (useful\n"
       "work); as load grows the *_cont slices (latch spinning + blocked\n"
       "waits) take over.\n");
+  BenchJson::Default().Emit("fig3_lockmgr_breakdown");
   return 0;
 }

@@ -31,6 +31,14 @@ void Census(const char* label, W* workload, dora::DoraEngine* engine,
                 r.raw_delta.Locks(LockCounter::kRowLevel) / txns,
                 r.raw_delta.Locks(LockCounter::kHigherLevel) / txns,
                 r.raw_delta.Locks(LockCounter::kDoraLocal) / txns);
+    BenchJson::Default().Add(
+        ResultRow(label, EngineName(kind), HardwareContexts(), r)
+            .Num("row_locks_per100",
+                 r.raw_delta.Locks(LockCounter::kRowLevel) / txns)
+            .Num("higher_locks_per100",
+                 r.raw_delta.Locks(LockCounter::kHigherLevel) / txns)
+            .Num("dora_local_per100",
+                 r.raw_delta.Locks(LockCounter::kDoraLocal) / txns));
   }
 }
 
@@ -55,5 +63,6 @@ int main() {
       "\nexpected shape: BASE row ~= higher for TM1 (short txns), ~2:1 for\n"
       "TPC-B; DORA centralized locks near zero (RID locks on inserts only),\n"
       "replaced by thread-local locks.\n");
+  BenchJson::Default().Emit("fig5_lock_counts");
   return 0;
 }

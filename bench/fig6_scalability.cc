@@ -32,6 +32,7 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
       }
       tps[i++] = r.throughput_tps;
       load = r.offered_load_pct;
+      BenchJson::Default().Add(ResultRow(label, EngineName(kind), clients, r));
     }
     std::printf("%-10.0f %14.0f %14.0f\n", load, tps[0], tps[1]);
     // Inbox efficiency at this load: batch draining should hold executor
@@ -60,5 +61,6 @@ int main() {
   std::printf(
       "\nexpected shape: DORA >= BASE everywhere; the gap is widest on TM1;\n"
       "past 100%% offered load BASE degrades while DORA holds.\n");
+  BenchJson::Default().Emit("fig6_scalability");
   return 0;
 }

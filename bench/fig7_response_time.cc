@@ -25,6 +25,12 @@ void Measure(const char* label, W* workload, dora::DoraEngine* engine,
   }
   std::printf("%-28s %12.1f %12.1f %10.2f\n", label, mean[0] / 1000.0,
               mean[1] / 1000.0, mean[0] > 0 ? mean[1] / mean[0] : 0.0);
+  BenchJson::Default().Add(
+      JsonRow()
+          .Str("txn", label)
+          .Num("base_mean_ns", mean[0])
+          .Num("dora_mean_ns", mean[1])
+          .Num("normalized", mean[0] > 0 ? mean[1] / mean[0] : 0.0));
 }
 
 }  // namespace
@@ -62,5 +68,6 @@ int main() {
       "when parallel actions overlap; ~1.0 for single-action ones.\n"
       "note: with few hardware contexts the overlap benefit shrinks and\n"
       "queueing overhead can dominate very short transactions.\n");
+  BenchJson::Default().Emit("fig7_response_time");
   return 0;
 }

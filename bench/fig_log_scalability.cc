@@ -84,6 +84,16 @@ void RunSweep(const char* name, LogBackendKind backend) {
     std::printf("%-12u %12.0f %12.2f %12.2f %18.0f %16.0f\n", p.executors,
                 p.tps, p.log_cont_pct, p.log_work_pct, p.cont_cycles_per_txn,
                 p.cont_cycles_per_txn / p.executors);
+    BenchJson::Default().Add(
+        JsonRow()
+            .Str("backend",
+                 backend == LogBackendKind::kCentral ? "central" : "plog")
+            .Int("executors", p.executors)
+            .Num("tps", p.tps)
+            .Num("log_cont_pct", p.log_cont_pct)
+            .Num("log_work_pct", p.log_work_pct)
+            .Num("cont_cycles_per_txn", p.cont_cycles_per_txn)
+            .Int("idle_syncs_skipped", p.idle_syncs_skipped));
     if (file_backed) {
       // Per-stream durability cost of this point: group commit should
       // amortize fsyncs far below the committed-txn count.
@@ -109,5 +119,6 @@ int main() {
       "executor count (every executor funnels through one latch); plog's\n"
       "stays ~zero because each executor appends to a private partition\n"
       "and commits without blocking in WaitFlushed.\n");
+  BenchJson::Default().Emit("fig_log_scalability");
   return 0;
 }

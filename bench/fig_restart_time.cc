@@ -188,6 +188,17 @@ int main() {
       std::printf("  durability counters (per stream):\n%s",
                   DurabilityStats::ToString().c_str());
     }
+    BenchJson::Default().Add(JsonRow()
+                                 .Str("mode", row.name)
+                                 .Num("tps", row.tps)
+                                 .Int("checkpoints", row.checkpoints)
+                                 .Int("log_bytes", row.log_bytes)
+                                 .Int("seg_files", row.seg_files)
+                                 .Int("reclaimed_bytes", row.reclaimed)
+                                 .Int("segments_unlinked", row.seg_unlinked)
+                                 .Int("records_replayed", row.replayed)
+                                 .Int("horizon_skips", row.horizon_skips)
+                                 .Num("recover_ms", row.recover_ms));
   }
   std::printf(
       "\nexpected shape: without checkpoints the log and the replay grow\n"
@@ -197,5 +208,6 @@ int main() {
       "DORADB_DATA_DIR set, truncation deletes segment files (unlinked>0,\n"
       "seg_files stays small) and recover_ms is a real second-lifetime\n"
       "reopen from disk.\n");
+  BenchJson::Default().Emit("fig_restart_time");
   return 0;
 }

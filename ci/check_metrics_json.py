@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Schema-check the live stats reporter's output.
+
+Usage: check_metrics_json.py <logfile> [logfile...]
+
+Scans each log for "DORADB_STATS {json}" lines (the StatsReporter's
+format, normally on stderr) and fails if:
+  * no stats line is found at all;
+  * any stats payload is not valid JSON;
+  * a payload is missing "ts_ms" (int) or "metrics" (non-empty object);
+  * a metric entry has an unknown "type", or lacks the fields its type
+    requires ("value" for counter/gauge; count/sum/min/max/p50/p95/p99/
+    p999 for histogram);
+  * across all lines, no metric was seen from one of the engine's core
+    namespaces (dora., log., txn., ckpt.) — the smoke runs a started
+    engine, so every subsystem must have checked in.
+
+Also validates any "BENCH_JSON {json}" lines it encounters (bench result
+lines, normally on stdout) as well-formed JSON with a "bench" name and a
+"rows" array, so redirected smoke logs get both formats checked.
+"""
+
+import json
+import sys
+
+STATS_PREFIX = "DORADB_STATS "
+BENCH_PREFIX = "BENCH_JSON "
+VALID_TYPES = {"counter", "gauge", "histogram"}
+HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "p50", "p95", "p99", "p999")
+REQUIRED_NAMESPACES = ("dora.", "log.", "txn.", "ckpt.")
+
+
+def check_stats_payload(where, payload, errors, seen_names):
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: invalid JSON: {e}")
+        return
+    if not isinstance(obj.get("ts_ms"), int):
+        errors.append(f"{where}: missing/non-integer ts_ms")
+    metrics = obj.get("metrics")
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append(f"{where}: missing/empty metrics object")
+        return
+    for name, m in metrics.items():
+        if not isinstance(m, dict):
+            errors.append(f"{where}: metric {name!r} is not an object")
+            continue
+        mtype = m.get("type")
+        if mtype not in VALID_TYPES:
+            errors.append(f"{where}: metric {name!r} has bad type {mtype!r}")
+            continue
+        if mtype in ("counter", "gauge"):
+            if not isinstance(m.get("value"), int):
+                errors.append(f"{where}: {mtype} {name!r} lacks integer value")
+        else:  # histogram
+            for field in HISTOGRAM_FIELDS:
+                if not isinstance(m.get(field), int):
+                    errors.append(
+                        f"{where}: histogram {name!r} lacks integer {field!r}")
+                    break
+        seen_names.add(name)
+
+
+def check_bench_payload(where, payload, errors):
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: invalid BENCH_JSON: {e}")
+        return
+    if not isinstance(obj.get("bench"), str):
+        errors.append(f"{where}: BENCH_JSON lacks string 'bench'")
+    if not isinstance(obj.get("rows"), list):
+        errors.append(f"{where}: BENCH_JSON lacks 'rows' array")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    errors = []
+    seen_names = set()
+    stats_lines = 0
+    bench_lines = 0
+    for path in argv[1:]:
+        with open(path, "r", errors="replace") as f:
+            for i, line in enumerate(f, 1):
+                line = line.strip()
+                where = f"{path}:{i}"
+                if line.startswith(STATS_PREFIX):
+                    stats_lines += 1
+                    check_stats_payload(where, line[len(STATS_PREFIX):],
+                                        errors, seen_names)
+                elif line.startswith(BENCH_PREFIX):
+                    bench_lines += 1
+                    check_bench_payload(where, line[len(BENCH_PREFIX):],
+                                        errors)
+    if stats_lines == 0:
+        errors.append("no DORADB_STATS lines found (reporter never fired?)")
+    else:
+        for ns in REQUIRED_NAMESPACES:
+            if not any(n.startswith(ns) for n in seen_names):
+                errors.append(f"no metric from namespace {ns!r} ever reported")
+    for e in errors:
+        print(f"check_metrics_json: {e}", file=sys.stderr)
+    print(f"check_metrics_json: {stats_lines} stats line(s), "
+          f"{bench_lines} bench line(s), {len(seen_names)} distinct metrics, "
+          f"{len(errors)} error(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

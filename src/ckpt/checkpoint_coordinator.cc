@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace doradb {
@@ -87,6 +88,9 @@ Status CheckpointCoordinator::CheckpointAll() {
 Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
                                            bool all_partitions) {
   std::lock_guard<std::mutex> g(ckpt_mu_);
+  const bool metrics = obs::MetricsEnabled();
+  const uint64_t t0 = metrics ? Cycles::Now() : 0;
+  const uint64_t reclaimed_before = metrics ? log_->reclaimed_bytes() : 0;
 
   // (0) Catalog snapshot: the schema description must be durable before
   // this round may truncate any log it describes.
@@ -152,6 +156,17 @@ Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
     // (post-truncation) size.
     ++visits_[partition];
     size_at_last_visit_[partition] = log_->PartitionStableSize(partition);
+  }
+  if (metrics) {
+    static Histogram* dur = obs::MetricsRegistry::Default().GetHistogram(
+        "ckpt.duration_ns", "ns");
+    dur->Record(static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0)));
+    const uint64_t reclaimed = log_->reclaimed_bytes();
+    if (reclaimed > reclaimed_before) {
+      static obs::Counter* trunc = obs::MetricsRegistry::Default().GetCounter(
+          "ckpt.truncated_bytes", "bytes");
+      trunc->Add(reclaimed - reclaimed_before);
+    }
   }
   return Status::OK();
 }

@@ -57,6 +57,9 @@ using ActionBody = std::function<Status(ActionEnv&)>;
 struct InboxEntry : MpscNode {
   enum class Kind : uint8_t { kAction = 0, kCompletion = 1, kStop = 2 };
   Kind kind = Kind::kAction;
+  // Cycle timestamp of the push (Executor::PushToInbox). Feeds the
+  // per-drain queue-wait histogram; 0 while metrics are disabled.
+  uint64_t enqueued_tsc = 0;
 };
 
 // A unit of work routed to the executor owning the dataset it touches.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace doradb {
@@ -96,10 +98,67 @@ void DoraEngine::Start() {
   for (auto& [table, group] : tables_) {
     for (auto& e : group->executors) e->Start();
   }
+
+  // Fold the engine's existing atomics into the metrics registry as
+  // pull-style callbacks — InboxStats and the txn counters keep their
+  // legacy accessors, the registry reads the same storage at snapshot
+  // time. Tokens are released in Stop(): the callbacks dereference this
+  // engine.
+  auto& reg = obs::MetricsRegistry::Default();
+  const auto kCtr = obs::MetricType::kCounter;
+  auto cb = [this, &reg, kCtr](const std::string& name,
+                               std::function<int64_t()> fn,
+                               obs::MetricType type, const char* unit) {
+    obs_tokens_.push_back(reg.RegisterCallback(name, std::move(fn), type,
+                                               unit));
+  };
+  cb("dora.txns.committed",
+     [this] { return static_cast<int64_t>(txns_committed()); }, kCtr, "txns");
+  cb("dora.txns.aborted",
+     [this] { return static_cast<int64_t>(txns_aborted()); }, kCtr, "txns");
+  cb("dora.txns.pipelined",
+     [this] { return static_cast<int64_t>(txns_pipelined()); }, kCtr, "txns");
+  cb("dora.txns.acked_inline",
+     [this] { return static_cast<int64_t>(txns_acked_inline()); }, kCtr,
+     "txns");
+  cb("dora.tickets.issued",
+     [this] { return static_cast<int64_t>(tickets_.issued()); }, kCtr,
+     "tickets");
+  cb("dora.inbox.batches", [this] {
+       return static_cast<int64_t>(CollectInboxStats().batches);
+     }, kCtr, "drains");
+  cb("dora.inbox.items", [this] {
+       return static_cast<int64_t>(CollectInboxStats().items);
+     }, kCtr, "msgs");
+  cb("dora.inbox.wakeups", [this] {
+       return static_cast<int64_t>(CollectInboxStats().wakeups);
+     }, kCtr, "wakes");
+  cb("dora.actions.executed", [this] {
+       return static_cast<int64_t>(CollectInboxStats().actions);
+     }, kCtr, "actions");
+  // Per-executor load signals — the direct prerequisite for the ROADMAP's
+  // live-repartitioning item: depth says "queued now", load says "served
+  // so far".
+  for (Executor* e : AllExecutors()) {
+    const std::string prefix =
+        "dora.exec." + std::to_string(e->global_index());
+    cb(prefix + ".inbox_depth", [e] { return e->inbox_depth(); },
+       obs::MetricType::kGauge, "msgs");
+    cb(prefix + ".load",
+       [e] { return static_cast<int64_t>(e->load_counter()); }, kCtr,
+       "actions");
+  }
 }
 
 void DoraEngine::Stop() {
   if (!started_) return;
+  // Callbacks first: they read executors this function is about to join
+  // (and, for short-lived engines in tests, a global-registry snapshot
+  // must never race a dying engine).
+  for (const uint64_t token : obs_tokens_) {
+    obs::MetricsRegistry::Default().Unregister(token);
+  }
+  obs_tokens_.clear();
   // Executors first (no new commits enter the ack queues), then drain the
   // ack daemons so every in-flight commit is acknowledged durable.
   for (auto& [table, group] : tables_) {
@@ -153,9 +212,16 @@ void DoraEngine::AckLoop(AckShard* shard) {
       for (const auto& ack : batch) max_gsn = std::max(max_gsn, ack.gsn);
       db_->log_manager()->WaitFlushedFrom(partition, max_gsn);
       for (auto& ack : batch) {
-        const Status s = db_->CommitFinalize(ack.dtxn->txn());
+        Transaction* txn = ack.dtxn->txn();
+        obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
+        const Status s = db_->CommitFinalize(txn);
         committed_.fetch_add(1, std::memory_order_relaxed);
         pipelined_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::MetricsEnabled() && txn->start_tsc() != 0) {
+          Database::CommitLatencyHistogram()->Record(static_cast<uint64_t>(
+              Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
+        }
+        obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kAck);
         ack.dtxn->Complete(s);
         ack.dtxn->Unref();  // ack queue's reference
       }
@@ -214,6 +280,7 @@ Status DoraEngine::Run(const DoraTxnRef& dtxn, FlowGraph&& graph) {
       pa.push_back(&a);
     }
   }
+  obs::CommitTracer::Stamp(t->txn()->id(), obs::TraceStage::kDispatch);
   DispatchPhase(t, 0);
   return t->Wait();
 }
@@ -282,9 +349,10 @@ void DoraEngine::DispatchPhase(DoraTxn* dtxn, size_t phase) {
   const uint64_t ticket = multi ? tickets_.Take() : 0;
   for (Action* a : actions) {
     a->ticket = ticket;
-    a->owner->inbox().Push(a);
+    a->owner->PushToInbox(a);
   }
   if (multi) tickets_.Publish(ticket);
+  obs::CommitTracer::Stamp(dtxn->txn()->id(), obs::TraceStage::kEnqueue);
 }
 
 void DoraEngine::Redispatch(Action* a) {
@@ -294,7 +362,7 @@ void DoraEngine::Redispatch(Action* a) {
   // The bounce is a single enqueue: no ticket needed (same as the mutex
   // protocol, which re-latched only the new owner's queue).
   a->ticket = 0;
-  owner->inbox().Push(a);
+  owner->PushToInbox(a);
 }
 
 void DoraEngine::FanOutCompletions(DoraTxn* dtxn) {
@@ -315,7 +383,7 @@ void DoraEngine::FanOutCompletions(DoraTxn* dtxn) {
   for (size_t i = 0; i < owners.size(); ++i) {
     CompletionMsg& m = dtxn->completion_msgs[i];
     m.dtxn = dtxn;
-    owners[i]->inbox().Push(&m);
+    owners[i]->PushToInbox(&m);
   }
 }
 
@@ -328,16 +396,25 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     // WaitFlushed. The client is completed by the ack daemon once the
     // commit GSN is covered by the global stable horizon.
     const Lsn commit_gsn = db_->CommitAsync(dtxn->txn());
+    obs::CommitTracer::Stamp(dtxn->txn()->id(),
+                             obs::TraceStage::kCommitAppend);
     FanOutCompletions(dtxn);  // early lock release, pre-durability
     // Inline-ack fast path: when the global flush horizon already covers
     // the commit GSN (synchronous log, or a flusher won the race), the
     // commit is durable right now — finalize and complete the client on
     // this executor instead of round-tripping through the ack daemon.
     if (db_->log_manager()->flushed_lsn() >= commit_gsn) {
-      const Status s = db_->CommitFinalize(dtxn->txn());
+      Transaction* txn = dtxn->txn();
+      obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
+      const Status s = db_->CommitFinalize(txn);
       committed_.fetch_add(1, std::memory_order_relaxed);
       pipelined_.fetch_add(1, std::memory_order_relaxed);
       acked_inline_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::MetricsEnabled() && txn->start_tsc() != 0) {
+        Database::CommitLatencyHistogram()->Record(static_cast<uint64_t>(
+            Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
+      }
+      obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kAck);
       dtxn->Complete(s);
       return;
     }
@@ -363,6 +440,15 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     final_status = dtxn->abort_reason();
     if (final_status.ok()) final_status = Status::Aborted();
     aborted_.fetch_add(1, std::memory_order_relaxed);
+    if (obs::MetricsEnabled()) {
+      // Abort attribution by reason ("dora.aborts.deadlock" etc.) — the
+      // paper's resource manager decides serial-plan switches on exactly
+      // this signal.
+      obs::MetricsRegistry::Default()
+          .GetCounter(std::string("dora.aborts.") + final_status.CodeName(),
+                      "txns")
+          ->Add();
+    }
   } else {
     final_status = db_->Commit(dtxn->txn());
     committed_.fetch_add(1, std::memory_order_relaxed);
@@ -370,6 +456,7 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
 
   // Completion fan-out (§A.1 steps 10-12) after commit/abort completes.
   FanOutCompletions(dtxn);
+  obs::CommitTracer::Stamp(dtxn->txn()->id(), obs::TraceStage::kAck);
   dtxn->Complete(std::move(final_status));
 }
 

@@ -250,6 +250,11 @@ class DoraEngine {
   std::atomic<uint64_t> aborted_{0};
   std::atomic<uint64_t> pipelined_{0};
   std::atomic<uint64_t> acked_inline_{0};
+
+  // Metrics-registry callback tokens (registered by Start, released by
+  // Stop — the callbacks read this engine's executors, so they must not
+  // outlive it in the process-wide registry).
+  std::vector<uint64_t> obs_tokens_;
 };
 
 }  // namespace dora

@@ -4,6 +4,7 @@
 
 #include "dora/dora_engine.h"
 #include "dora/ticket.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace doradb {
@@ -15,7 +16,23 @@ Executor::Executor(DoraEngine* engine, Database* db, TableId table,
       db_(db),
       table_(table),
       index_in_table_(index_in_table),
-      global_index_(global_index) {}
+      global_index_(global_index),
+      batch_size_hist_(obs::MetricsRegistry::Default().GetHistogram(
+          "dora.inbox.batch_size", "msgs")),
+      drain_wait_hist_(obs::MetricsRegistry::Default().GetHistogram(
+          "dora.inbox.drain_wait_ns", "ns")),
+      ticket_deferred_(obs::MetricsRegistry::Default().GetCounter(
+          "dora.tickets.deferred", "actions")) {}
+
+void Executor::PushToInbox(InboxEntry* entry) {
+  if (obs::MetricsEnabled()) {
+    entry->enqueued_tsc = Cycles::Now();
+    pushed_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    entry->enqueued_tsc = 0;
+  }
+  inbox_.Push(entry);
+}
 
 void Executor::Start() {
   thread_ = std::thread([this] { Loop(); });
@@ -23,7 +40,7 @@ void Executor::Start() {
 
 void Executor::Stop() {
   if (!thread_.joinable()) return;
-  inbox_.Push(&stop_msg_);
+  PushToInbox(&stop_msg_);
   thread_.join();
 }
 
@@ -64,17 +81,29 @@ void Executor::Loop() {
 }
 
 void Executor::Classify(MpscNode* chain) {
+  const bool metrics = obs::MetricsEnabled();
+  const bool tracing = obs::CommitTracer::Enabled();
   uint64_t n = 0;
+  uint64_t oldest_tsc = 0;  // oldest stamped enqueue in this drain
   while (chain != nullptr) {
     MpscNode* next = chain->next;
     auto* entry = static_cast<InboxEntry*>(chain);
     ++n;
+    if (entry->enqueued_tsc != 0 &&
+        (oldest_tsc == 0 || entry->enqueued_tsc < oldest_tsc)) {
+      oldest_tsc = entry->enqueued_tsc;
+    }
     switch (entry->kind) {
       case InboxEntry::Kind::kAction: {
         Action* a = static_cast<Action*>(entry);
+        if (tracing) {
+          obs::CommitTracer::Stamp(a->dtxn->txn()->id(),
+                                   obs::TraceStage::kDrain);
+        }
         if (a->ticket == 0) {
           ready_.push_back(a);
         } else {
+          if (metrics) ticket_deferred_->Add();
           // Insertion keeps deferred_ sorted by ticket; strict comparison
           // preserves arrival order among equal tickets (same dispatch).
           deferred_.push_back(a);
@@ -99,6 +128,19 @@ void Executor::Classify(MpscNode* chain) {
   if (n != 0) {
     batches_.fetch_add(1, std::memory_order_relaxed);
     items_.fetch_add(n, std::memory_order_relaxed);
+    if (metrics) {
+      // One record per drain, not per message: the histograms stay off the
+      // per-action path. Queue wait is the drain's worst case (oldest
+      // stamped enqueue).
+      batch_size_hist_->Record(n);
+      if (oldest_tsc != 0) {
+        const uint64_t now = Cycles::Now();
+        if (now > oldest_tsc) {
+          drain_wait_hist_->Record(
+              static_cast<uint64_t>(Cycles::ToNanos(now - oldest_tsc)));
+        }
+      }
+    }
   }
 }
 
@@ -202,6 +244,7 @@ void Executor::ExecuteGranted(Action* a) {
     if (!s.ok()) dtxn->MarkAborted(s);
   }
   actions_executed_.fetch_add(1, std::memory_order_relaxed);
+  obs::CommitTracer::Stamp(dtxn->txn()->id(), obs::TraceStage::kExecute);
   ReportToRvp(a);
 }
 

@@ -24,6 +24,7 @@
 
 #include "dora/action.h"
 #include "dora/local_lock_table.h"
+#include "obs/metrics.h"
 #include "util/mpsc_queue.h"
 
 namespace doradb {
@@ -49,6 +50,12 @@ class Executor {
   // Lock-free inbox; push Action / CompletionMsg / StopMsg nodes.
   MpscQueue& inbox() { return inbox_; }
 
+  // Preferred producer entry point: stamps the entry's enqueue timestamp
+  // and the depth accounting (metrics on), then pushes. Pushing to
+  // inbox() directly stays correct — such messages just don't feed the
+  // queue-wait histogram or the depth gauge.
+  void PushToInbox(InboxEntry* entry);
+
   // --- stats ---
   uint64_t actions_executed() const {
     return actions_executed_.load(std::memory_order_relaxed);
@@ -67,6 +74,19 @@ class Executor {
   // Load metric for the resource manager.
   uint64_t load_counter() const {
     return load_counter_.load(std::memory_order_relaxed);
+  }
+  // Messages ever pushed via PushToInbox. pushed - items approximates the
+  // live inbox depth (the per-executor load gauge the repartitioning
+  // roadmap item consumes); it undercounts by pushes that bypassed the
+  // wrapper and by the drained-but-unprocessed window, never below zero
+  // after clamping.
+  uint64_t inbox_pushed() const {
+    return pushed_.load(std::memory_order_relaxed);
+  }
+  int64_t inbox_depth() const {
+    const int64_t d = static_cast<int64_t>(inbox_pushed()) -
+                      static_cast<int64_t>(inbox_items());
+    return d > 0 ? d : 0;
   }
 
  private:
@@ -109,6 +129,14 @@ class Executor {
   std::atomic<uint64_t> load_counter_{0};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> items_{0};
+  std::atomic<uint64_t> pushed_{0};
+
+  // Registry-owned instrumentation, shared across executors (resolved once
+  // at construction; hot paths record through the cached pointers gated on
+  // obs::MetricsEnabled()).
+  Histogram* batch_size_hist_;      // dora.inbox.batch_size
+  Histogram* drain_wait_hist_;      // dora.inbox.drain_wait_ns
+  obs::Counter* ticket_deferred_;   // dora.tickets.deferred
 };
 
 }  // namespace dora

@@ -1,6 +1,8 @@
 #include "engine/database.h"
 
+#include "obs/trace.h"
 #include "plog/partitioned_log_manager.h"
+#include "util/clock.h"
 
 namespace doradb {
 
@@ -103,9 +105,65 @@ Database::Database(Options options)
       (options_.data_dir.empty() || log_->stable_size() == 0)) {
     ckpt_->Start();
   }
+  // Pull-style registry metrics over this database's subsystems. The
+  // callbacks dereference members, so the destructor unregisters them
+  // before any member dies.
+  auto& reg = obs::MetricsRegistry::Default();
+  const auto kCtr = obs::MetricType::kCounter;
+  const auto kGau = obs::MetricType::kGauge;
+  auto cb = [this, &reg](const std::string& name, std::function<int64_t()> fn,
+                         obs::MetricType type, const char* unit) {
+    obs_tokens_.push_back(reg.RegisterCallback(name, std::move(fn), type,
+                                               unit));
+  };
+  cb("txn.started", [this] { return static_cast<int64_t>(txns_->started()); },
+     kCtr, "txns");
+  cb("txn.active",
+     [this] { return static_cast<int64_t>(txns_->num_active()); }, kGau,
+     "txns");
+  cb("log.appends", [this] { return static_cast<int64_t>(log_->appends()); },
+     kCtr, "records");
+  cb("log.flushes", [this] { return static_cast<int64_t>(log_->flushes()); },
+     kCtr, "calls");
+  cb("log.idle_syncs_skipped",
+     [this] { return static_cast<int64_t>(log_->idle_syncs_skipped()); },
+     kCtr, "calls");
+  cb("log.flushed_lsn",
+     [this] { return static_cast<int64_t>(log_->flushed_lsn()); }, kGau,
+     "lsn");
+  cb("log.stable_bytes",
+     [this] { return static_cast<int64_t>(log_->stable_size()); }, kGau,
+     "bytes");
+  cb("log.reclaimed_bytes",
+     [this] { return static_cast<int64_t>(log_->reclaimed_bytes()); }, kCtr,
+     "bytes");
+  cb("ckpt.checkpoints",
+     [this] { return static_cast<int64_t>(ckpt_->stats().checkpoints); },
+     kCtr, "records");
+  cb("ckpt.pages_flushed",
+     [this] { return static_cast<int64_t>(ckpt_->stats().pages_flushed); },
+     kCtr, "pages");
+  cb("ckpt.pages_skipped",
+     [this] { return static_cast<int64_t>(ckpt_->stats().pages_skipped); },
+     kCtr, "pages");
+  cb("ckpt.last_horizon",
+     [this] { return static_cast<int64_t>(ckpt_->last_horizon()); }, kGau,
+     "lsn");
+  if (options_.stats_interval_ms != 0) {
+    reporter_ = std::make_unique<obs::StatsReporter>(
+        &reg, options_.stats_interval_ms);
+    reporter_->Start();
+  }
 }
 
 Database::~Database() {
+  // Reporter first (it snapshots the registry, whose callbacks read the
+  // members below), then the callbacks themselves.
+  if (reporter_ != nullptr) reporter_->Stop();
+  for (const uint64_t token : obs_tokens_) {
+    obs::MetricsRegistry::Default().Unregister(token);
+  }
+  obs_tokens_.clear();
   // The checkpoint daemon reads the pool and appends to the log; stop it
   // before either can die. Members then destroy in reverse declaration
   // order, which tears the log down before the pool — so flush dirty pages
@@ -119,10 +177,23 @@ Database::~Database() {
   pool_->SetWalFlushCallback(nullptr);
 }
 
+Histogram* Database::CommitLatencyHistogram() {
+  static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+      "txn.commit_latency_ns", "ns");
+  return h;
+}
+
 Status Database::Commit(Transaction* txn) {
   const Lsn end = CommitAsync(txn);
+  obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kCommitAppend);
   log_->WaitFlushed(end);  // durability point (group commit)
-  return CommitFinalize(txn);
+  obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
+  const Status s = CommitFinalize(txn);
+  if (obs::MetricsEnabled() && txn->start_tsc() != 0) {
+    CommitLatencyHistogram()->Record(static_cast<uint64_t>(
+        Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
+  }
+  return s;
 }
 
 Lsn Database::CommitAsync(Transaction* txn) {
@@ -150,6 +221,11 @@ Status Database::CommitFinalize(Transaction* txn) {
 }
 
 Status Database::Abort(Transaction* txn) {
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* aborts =
+        obs::MetricsRegistry::Default().GetCounter("txn.aborts", "txns");
+    aborts->Add();
+  }
   LogRecord abort_rec;
   abort_rec.type = LogType::kAbort;
   abort_rec.txn = txn->id();

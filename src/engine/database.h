@@ -25,6 +25,8 @@
 #include "lock/lock_manager.h"
 #include "log/log_backend.h"
 #include "log/log_manager.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
 #include "storage/catalog_store.h"
@@ -83,6 +85,10 @@ class Database {
     std::string data_dir;
     // Segment roll target for the file-backed log streams.
     size_t log_segment_bytes = 1 << 20;
+    // Nonzero: run a background StatsReporter emitting one
+    // "DORADB_STATS {json}" line to stderr per interval (src/obs/). Off by
+    // default; benches and quickstart wire it to DORADB_STATS_INTERVAL_MS.
+    uint64_t stats_interval_ms = 0;
   };
 
   explicit Database(Options options);
@@ -90,6 +96,20 @@ class Database {
   ~Database();
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
+
+  // Unified metrics snapshot (src/obs/): every subsystem's counters,
+  // gauges, and latency histograms, aggregated from the process-wide
+  // registry. Text via snapshot.ToText(), JSON via snapshot.ToJson(),
+  // windowed views via Snapshot::Delta.
+  obs::MetricsSnapshot Metrics() const {
+    return obs::MetricsRegistry::Default().Snapshot();
+  }
+
+  // The "txn.commit_latency_ns" histogram (shared, registry-owned). The
+  // non-pipelined paths record into it from Commit(); DORA's pipelined
+  // finalize sites (inline ack, ack daemon) record their own — exactly one
+  // record per committed transaction either way.
+  static Histogram* CommitLatencyHistogram();
 
   Catalog* catalog() { return catalog_.get(); }
   LockManager* lock_manager() { return lock_.get(); }
@@ -204,6 +224,12 @@ class Database {
   std::unique_ptr<LogBackend> log_;
   std::unique_ptr<TxnManager> txns_;
   std::unique_ptr<ckpt::CheckpointCoordinator> ckpt_;
+
+  // Observability: registry callback tokens for this database's subsystem
+  // metrics (released in the destructor before the subsystems die) and the
+  // optional background reporter (Options::stats_interval_ms).
+  std::vector<uint64_t> obs_tokens_;
+  std::unique_ptr<obs::StatsReporter> reporter_;
 };
 
 }  // namespace doradb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "log/segment_file.h"
+#include "obs/metrics.h"
 #include "util/clock.h"
 
 namespace doradb {
@@ -68,25 +69,53 @@ void LogManager::WaitFlushed(Lsn lsn) {
 void LogManager::FlushTo(Lsn lsn) { WaitFlushed(lsn); }
 
 Lsn LogManager::DoFlush() {
-  std::lock_guard<std::mutex> g(stable_mu_);
-  std::vector<uint8_t> pending;
+  // Metrics are recorded after stable_mu_ is released: in the central
+  // backend every committing client funnels through this mutex, so extra
+  // cycles inside it (even two rdtsc reads) serialize all committers.
+  // fsync timing is only taken on durable media — timing a no-op memory
+  // Sync() would just measure the clock.
+  size_t flushed_bytes = 0;
+  uint64_t sync_ns = 0;
+  bool synced = false;
+  const bool metrics = obs::MetricsEnabled();
   Lsn upto;
   {
-    TatasGuard b(buffer_latch_, TimeClass::kLogContention);
-    pending.swap(buffer_);
-    upto = next_lsn_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(stable_mu_);
+    std::vector<uint8_t> pending;
+    {
+      TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+      pending.swap(buffer_);
+      upto = next_lsn_.load(std::memory_order_relaxed);
+    }
+    if (!pending.empty()) {
+      // `upto` upper-bounds every record LSN in the batch — conservative
+      // for segment unlinking, exact for the flush horizon.
+      stable_->AppendBatch(pending.data(), pending.size(), upto);
+      flushes_.fetch_add(1, std::memory_order_relaxed);
+      flushed_bytes = pending.size();
+    }
+    if (upto > flushed_lsn_.load(std::memory_order_relaxed)) {
+      // Durability before advertisement: commits gate on flushed_lsn.
+      const bool time_sync = metrics && stable_->durable();
+      const uint64_t t0 = time_sync ? Cycles::Now() : 0;
+      stable_->Sync(upto);
+      if (time_sync) {
+        sync_ns = static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0));
+        synced = true;
+      }
+    }
+    flushed_lsn_.store(upto, std::memory_order_release);
   }
-  if (!pending.empty()) {
-    // `upto` upper-bounds every record LSN in the batch — conservative
-    // for segment unlinking, exact for the flush horizon.
-    stable_->AppendBatch(pending.data(), pending.size(), upto);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics && flushed_bytes > 0) {
+    static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        "log.group_commit_bytes", "bytes");
+    h->Record(flushed_bytes);
   }
-  if (upto > flushed_lsn_.load(std::memory_order_relaxed)) {
-    // Durability before advertisement: commits gate on flushed_lsn.
-    stable_->Sync(upto);
+  if (synced) {
+    static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        "log.fsync_ns", "ns");
+    h->Record(sync_ns);
   }
-  flushed_lsn_.store(upto, std::memory_order_release);
   return upto;
 }
 

@@ -1,0 +1,416 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace doradb {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_metrics_enabled{true};
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  // Sticky per-thread slot, like ThreadStats: two threads may share a
+  // shard (bounded loss of isolation, never of correctness).
+  static std::atomic<size_t> next{0};
+  thread_local const size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+const char* MetricTypeName(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter: return "counter";
+    case MetricType::kGauge: return "gauge";
+    case MetricType::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+// ---- MetricValue ----
+
+uint64_t MetricValue::Percentile(double p) const {
+  if (count == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const uint64_t lo = i == 0 ? 0 : (uint64_t{1} << i);
+      const uint64_t hi = (i >= 63) ? UINT64_MAX : (uint64_t{1} << (i + 1));
+      const double frac = (target - static_cast<double>(seen)) /
+                          static_cast<double>(in_bucket);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += in_bucket;
+  }
+  return max;
+}
+
+void MetricValue::RecomputePercentiles() {
+  p50 = Percentile(50);
+  p95 = Percentile(95);
+  p99 = Percentile(99);
+  p999 = Percentile(99.9);
+}
+
+// ---- MetricsSnapshot ----
+
+const MetricValue* MetricsSnapshot::Find(std::string_view name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::Delta(const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out = *this;
+  for (auto& m : out.metrics) {
+    const MetricValue* prev = earlier.Find(m.name);
+    if (prev == nullptr || prev->type != m.type) continue;
+    switch (m.type) {
+      case MetricType::kCounter:
+        m.value -= prev->value;
+        break;
+      case MetricType::kGauge:
+        break;  // a level, not a flow: keep the later reading
+      case MetricType::kHistogram:
+        m.count -= prev->count;
+        m.sum -= prev->sum;
+        for (size_t i = 0; i < m.buckets.size(); ++i) {
+          m.buckets[i] -= prev->buckets[i];
+        }
+        // min/max are not subtractable; they stay the later snapshot's
+        // lifetime bounds. Percentiles become window-exact.
+        m.RecomputePercentiles();
+        break;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::ostringstream os;
+  for (const auto& m : metrics) {
+    os << m.name << " (" << MetricTypeName(m.type);
+    if (!m.unit.empty()) os << ", " << m.unit;
+    os << "): ";
+    if (m.type == MetricType::kHistogram) {
+      os << "count=" << m.count << " mean=" << static_cast<uint64_t>(m.Mean())
+         << " min=" << m.min << " p50=" << m.p50 << " p95=" << m.p95
+         << " p99=" << m.p99 << " p999=" << m.p999 << " max=" << m.max;
+    } else {
+      os << m.value;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream os;
+  os << "{\"ts_ms\":" << wall_ms << ",\"metrics\":{";
+  bool first = true;
+  for (const auto& m : metrics) {
+    if (!first) os << ",";
+    first = false;
+    os << "\"" << m.name << "\":{\"type\":\"" << MetricTypeName(m.type)
+       << "\"";
+    if (!m.unit.empty()) os << ",\"unit\":\"" << m.unit << "\"";
+    if (m.type == MetricType::kHistogram) {
+      os << ",\"count\":" << m.count << ",\"sum\":" << m.sum
+         << ",\"min\":" << m.min << ",\"max\":" << m.max
+         << ",\"p50\":" << m.p50 << ",\"p95\":" << m.p95
+         << ",\"p99\":" << m.p99 << ",\"p999\":" << m.p999;
+    } else {
+      os << ",\"value\":" << m.value;
+    }
+    os << "}";
+  }
+  os << "}}";
+  return os.str();
+}
+
+// ---- minimal parser for ToJson()'s own output ----
+//
+// Not a general JSON parser: accepts exactly the subset ToJson emits
+// (string keys, string/integer values, two nesting levels, no escapes —
+// metric names never contain quotes or backslashes by construction).
+
+namespace {
+
+struct JsonCursor {
+  std::string_view s;
+  size_t i = 0;
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+  bool String(std::string* out) {
+    if (!Eat('"')) return false;
+    const size_t start = i;
+    while (i < s.size() && s[i] != '"') ++i;
+    if (i >= s.size()) return false;
+    out->assign(s.substr(start, i - start));
+    ++i;  // closing quote
+    return true;
+  }
+  bool Integer(int64_t* out) {
+    SkipWs();
+    const size_t start = i;
+    if (i < s.size() && s[i] == '-') ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+    if (i == start) return false;
+    *out = std::strtoll(std::string(s.substr(start, i - start)).c_str(),
+                        nullptr, 10);
+    return true;
+  }
+};
+
+Status Malformed(const char* what) {
+  return Status::InvalidArgument(std::string("metrics json: ") + what);
+}
+
+}  // namespace
+
+Status MetricsSnapshot::FromJson(std::string_view json, MetricsSnapshot* out) {
+  *out = MetricsSnapshot{};
+  JsonCursor c{json};
+  if (!c.Eat('{')) return Malformed("expected top-level object");
+  std::string key;
+  bool first = true;
+  bool saw_metrics = false;
+  while (!c.Peek('}')) {
+    if (!first && !c.Eat(',')) return Malformed("expected ','");
+    first = false;
+    if (!c.String(&key) || !c.Eat(':')) return Malformed("expected key");
+    if (key == "ts_ms") {
+      if (!c.Integer(&out->wall_ms)) return Malformed("bad ts_ms");
+    } else if (key == "metrics") {
+      saw_metrics = true;
+      if (!c.Eat('{')) return Malformed("expected metrics object");
+      bool first_metric = true;
+      while (!c.Peek('}')) {
+        if (!first_metric && !c.Eat(',')) return Malformed("expected ','");
+        first_metric = false;
+        MetricValue m;
+        if (!c.String(&m.name) || !c.Eat(':') || !c.Eat('{')) {
+          return Malformed("expected metric object");
+        }
+        bool first_field = true;
+        while (!c.Peek('}')) {
+          if (!first_field && !c.Eat(',')) return Malformed("expected ','");
+          first_field = false;
+          std::string field;
+          if (!c.String(&field) || !c.Eat(':')) {
+            return Malformed("expected field");
+          }
+          if (field == "type" || field == "unit") {
+            std::string sval;
+            if (!c.String(&sval)) return Malformed("bad string field");
+            if (field == "unit") {
+              m.unit = sval;
+            } else if (sval == "counter") {
+              m.type = MetricType::kCounter;
+            } else if (sval == "gauge") {
+              m.type = MetricType::kGauge;
+            } else if (sval == "histogram") {
+              m.type = MetricType::kHistogram;
+            } else {
+              return Malformed("unknown metric type");
+            }
+          } else {
+            int64_t ival = 0;
+            if (!c.Integer(&ival)) return Malformed("bad numeric field");
+            const uint64_t uval = static_cast<uint64_t>(ival);
+            if (field == "value") m.value = ival;
+            else if (field == "count") m.count = uval;
+            else if (field == "sum") m.sum = uval;
+            else if (field == "min") m.min = uval;
+            else if (field == "max") m.max = uval;
+            else if (field == "p50") m.p50 = uval;
+            else if (field == "p95") m.p95 = uval;
+            else if (field == "p99") m.p99 = uval;
+            else if (field == "p999") m.p999 = uval;
+            else return Malformed("unknown field");
+          }
+        }
+        if (!c.Eat('}')) return Malformed("unterminated metric");
+        out->metrics.push_back(std::move(m));
+      }
+      if (!c.Eat('}')) return Malformed("unterminated metrics");
+    } else {
+      return Malformed("unknown top-level key");
+    }
+  }
+  if (!c.Eat('}')) return Malformed("unterminated object");
+  if (!saw_metrics) return Malformed("missing metrics object");
+  c.SkipWs();
+  if (c.i != json.size()) return Malformed("trailing bytes");
+  return Status::OK();
+}
+
+// ---- MetricsRegistry ----
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& unit) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = owned_.find(name);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kCounter;
+    o.unit = unit;
+    o.counter = std::make_unique<Counter>();
+    it = owned_.emplace(name, std::move(o)).first;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& unit) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = owned_.find(name);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kGauge;
+    o.unit = unit;
+    o.gauge = std::make_unique<Gauge>();
+    it = owned_.emplace(name, std::move(o)).first;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& unit) {
+  std::lock_guard<std::mutex> g(mu_);
+  auto it = owned_.find(name);
+  if (it == owned_.end()) {
+    Owned o;
+    o.type = MetricType::kHistogram;
+    o.unit = unit;
+    o.histogram = std::make_unique<Histogram>();
+    it = owned_.emplace(name, std::move(o)).first;
+  }
+  return it->second.histogram.get();
+}
+
+uint64_t MetricsRegistry::RegisterCallback(const std::string& name,
+                                           std::function<int64_t()> fn,
+                                           MetricType type,
+                                           const std::string& unit) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t token = next_token_++;
+  callbacks_[name] = Callback{type, unit, token, std::move(fn)};
+  return token;
+}
+
+void MetricsRegistry::Unregister(uint64_t token) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto it = callbacks_.begin(); it != callbacks_.end(); ++it) {
+    if (it->second.token == token) {
+      callbacks_.erase(it);
+      return;
+    }
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot out;
+  out.wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    std::chrono::system_clock::now().time_since_epoch())
+                    .count();
+  std::lock_guard<std::mutex> g(mu_);
+  out.metrics.reserve(owned_.size() + callbacks_.size());
+  for (const auto& [name, o] : owned_) {
+    MetricValue m;
+    m.name = name;
+    m.unit = o.unit;
+    m.type = o.type;
+    switch (o.type) {
+      case MetricType::kCounter:
+        m.value = static_cast<int64_t>(o.counter->Value());
+        break;
+      case MetricType::kGauge:
+        m.value = o.gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *o.histogram;
+        m.count = h.Count();
+        m.sum = h.Sum();
+        m.min = h.Min();
+        m.max = h.Max();
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          m.buckets[i] = h.BucketCount(i);
+        }
+        m.RecomputePercentiles();
+        break;
+      }
+    }
+    out.metrics.push_back(std::move(m));
+  }
+  for (const auto& [name, cb] : callbacks_) {
+    MetricValue m;
+    m.name = name;
+    m.unit = cb.unit;
+    m.type = cb.type;
+    m.value = cb.fn();
+    out.metrics.push_back(std::move(m));
+  }
+  // Callbacks and owned metrics interleave; one sorted order for stable
+  // text/JSON output. Names are unique per map; a name used both ways
+  // keeps both entries (don't do that).
+  std::sort(out.metrics.begin(), out.metrics.end(),
+            [](const MetricValue& a, const MetricValue& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [name, o] : owned_) {
+    switch (o.type) {
+      case MetricType::kCounter: o.counter->Reset(); break;
+      case MetricType::kGauge: o.gauge->Reset(); break;
+      case MetricType::kHistogram: o.histogram->Reset(); break;
+    }
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* r = new MetricsRegistry();  // leaked: outlives all
+  return *r;
+}
+
+}  // namespace obs
+}  // namespace doradb

@@ -1,0 +1,63 @@
+#include "obs/reporter.h"
+
+#include <chrono>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace doradb {
+namespace obs {
+
+StatsReporter::StatsReporter(MetricsRegistry* registry, uint64_t interval_ms,
+                             FILE* out)
+    : registry_(registry), interval_ms_(interval_ms), out_(out) {}
+
+StatsReporter::~StatsReporter() { Stop(); }
+
+void StatsReporter::Start() {
+  if (interval_ms_ == 0) return;
+  std::lock_guard<std::mutex> g(mu_);
+  if (running_) return;
+  stop_ = false;
+  running_ = true;
+  thread_ = std::thread(&StatsReporter::Loop, this);
+}
+
+void StatsReporter::Stop() {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (!running_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    running_ = false;
+  }
+  // Final snapshot so short-lived processes still leave one line behind.
+  EmitLine();
+}
+
+void StatsReporter::EmitLine() {
+  const std::string line = registry_->Snapshot().ToJson();
+  fprintf(out_, "DORADB_STATS %s\n", line.c_str());
+  fflush(out_);
+  lines_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsReporter::Loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, std::chrono::milliseconds(interval_ms_),
+                     [this] { return stop_; })) {
+      break;
+    }
+    lk.unlock();
+    EmitLine();
+    lk.lock();
+  }
+}
+
+}  // namespace obs
+}  // namespace doradb

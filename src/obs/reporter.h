@@ -1,0 +1,65 @@
+// Background stats reporter: a thread that periodically snapshots a
+// MetricsRegistry and emits one JSON line per interval.
+//
+// Off by default; Database wires it to Options::stats_interval_ms. Lines
+// go to stderr (configurable) so stdout stays clean for benchmark output
+// and the CI smoke test can redirect and schema-check them
+// (ci/check_metrics_json.py). Each line is a complete
+// MetricsSnapshot::ToJson() object prefixed with "DORADB_STATS ", making
+// the lines trivially greppable out of mixed logs.
+
+#ifndef DORADB_OBS_REPORTER_H_
+#define DORADB_OBS_REPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace doradb {
+namespace obs {
+
+class MetricsRegistry;
+
+class StatsReporter {
+ public:
+  // Reports `registry` every `interval_ms` to `out`. interval_ms == 0
+  // means the reporter stays idle (Start becomes a no-op).
+  explicit StatsReporter(MetricsRegistry* registry, uint64_t interval_ms,
+                         FILE* out = stderr);
+  ~StatsReporter();
+
+  StatsReporter(const StatsReporter&) = delete;
+  StatsReporter& operator=(const StatsReporter&) = delete;
+
+  void Start();
+  // Emits one final snapshot line (if any line was ever emitted) and joins
+  // the thread. Idempotent.
+  void Stop();
+
+  uint64_t lines_emitted() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Loop();
+  void EmitLine();
+
+  MetricsRegistry* const registry_;
+  const uint64_t interval_ms_;
+  FILE* const out_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  bool running_ = false;
+  std::thread thread_;
+  std::atomic<uint64_t> lines_{0};
+};
+
+}  // namespace obs
+}  // namespace doradb
+
+#endif  // DORADB_OBS_REPORTER_H_

@@ -1,0 +1,142 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/clock.h"
+
+namespace doradb {
+namespace obs {
+
+std::atomic<bool> CommitTracer::enabled_{false};
+
+const char* TraceStageName(TraceStage s) {
+  switch (s) {
+    case TraceStage::kDispatch: return "dispatch";
+    case TraceStage::kEnqueue: return "enqueue";
+    case TraceStage::kDrain: return "drain";
+    case TraceStage::kExecute: return "execute";
+    case TraceStage::kCommitAppend: return "commit-append";
+    case TraceStage::kDurable: return "durable";
+    case TraceStage::kAck: return "ack";
+  }
+  return "?";
+}
+
+namespace {
+
+// One thread's wrapping event ring. The mutex is uncontended in steady
+// state (only the owning thread stamps); Dump/Enable take it briefly to
+// copy or clear. Same shape as the ThreadStats registry: rings leak so a
+// stamp from a thread that outlives an enable/disable cycle stays safe.
+struct TraceRing {
+  std::mutex mu;
+  std::vector<TraceEvent> buf;
+  size_t capacity = CommitTracer::kDefaultRingSize;
+  size_t next = 0;       // total events ever stamped (mod for slot)
+};
+
+struct TraceRegistry {
+  std::mutex mu;
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  size_t ring_size = CommitTracer::kDefaultRingSize;
+};
+
+TraceRegistry& Registry() {
+  static TraceRegistry* r = new TraceRegistry();  // leaked: outlives threads
+  return *r;
+}
+
+TraceRing* MyRing() {
+  thread_local std::shared_ptr<TraceRing> ring = [] {
+    auto r = std::make_shared<TraceRing>();
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    r->capacity = reg.ring_size;
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return ring.get();
+}
+
+}  // namespace
+
+void CommitTracer::Enable(size_t ring_size) {
+  if (ring_size == 0) ring_size = 1;
+  TraceRegistry& reg = Registry();
+  {
+    std::lock_guard<std::mutex> g(reg.mu);
+    reg.ring_size = ring_size;
+    for (auto& ring : reg.rings) {
+      std::lock_guard<std::mutex> rg(ring->mu);
+      ring->buf.clear();
+      ring->capacity = ring_size;
+      ring->next = 0;
+    }
+  }
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void CommitTracer::Disable() {
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void CommitTracer::StampSlow(uint64_t txn_id, TraceStage stage) {
+  TraceRing* ring = MyRing();
+  const uint64_t now = Cycles::Now();
+  std::lock_guard<std::mutex> g(ring->mu);
+  const size_t slot = ring->next % ring->capacity;
+  if (slot < ring->buf.size()) {
+    ring->buf[slot] = TraceEvent{txn_id, now, stage};
+  } else {
+    ring->buf.push_back(TraceEvent{txn_id, now, stage});
+  }
+  ring->next++;
+}
+
+std::vector<TraceEvent> CommitTracer::Dump() {
+  std::vector<std::shared_ptr<TraceRing>> rings;
+  {
+    TraceRegistry& reg = Registry();
+    std::lock_guard<std::mutex> g(reg.mu);
+    rings = reg.rings;
+  }
+  std::vector<TraceEvent> out;
+  for (auto& ring : rings) {
+    std::lock_guard<std::mutex> g(ring->mu);
+    out.insert(out.end(), ring->buf.begin(), ring->buf.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.txn_id != b.txn_id) return a.txn_id < b.txn_id;
+              if (a.tsc != b.tsc) return a.tsc < b.tsc;
+              return static_cast<uint8_t>(a.stage) <
+                     static_cast<uint8_t>(b.stage);
+            });
+  return out;
+}
+
+std::string CommitTracer::DumpText() {
+  const std::vector<TraceEvent> events = Dump();
+  std::ostringstream os;
+  uint64_t cur_txn = 0;
+  uint64_t t0 = 0;
+  bool have_txn = false;
+  for (const TraceEvent& e : events) {
+    if (!have_txn || e.txn_id != cur_txn) {
+      cur_txn = e.txn_id;
+      t0 = e.tsc;
+      have_txn = true;
+      os << "txn " << cur_txn << ":\n";
+    }
+    os << "  " << TraceStageName(e.stage) << " +"
+       << static_cast<uint64_t>(Cycles::ToNanos(e.tsc - t0)) << "ns\n";
+  }
+  return os.str();
+}
+
+}  // namespace obs
+}  // namespace doradb

@@ -1,0 +1,88 @@
+// Commit-path span tracer: stamps each transaction's lifecycle into
+// per-thread ring buffers, dumpable on demand.
+//
+// The seven stages mirror the path a DORA transaction takes through the
+// engine (§3 of the paper: route → enqueue → serve → commit):
+//
+//   dispatch       flow graph admitted, actions about to be routed
+//   enqueue        actions pushed onto executor inboxes
+//   drain          an executor pulled the action out of its inbox
+//   execute        the action ran against the executor's partition
+//   commit-append  commit record handed to the log
+//   durable        group commit reported the record stable
+//   ack            client completion signaled
+//
+// Design mirrors ThreadStats: each thread lazily registers a ring in a
+// leaked global registry and stamps without coordination beyond its own
+// ring mutex (uncontended except while a dump is copying). Tracing is off
+// by default; when off, Stamp() is one relaxed bool load. Rings wrap —
+// the newest events win — so the tracer is safe to leave enabled during
+// long runs; Dump() merges all rings and sorts by (txn, time).
+
+#ifndef DORADB_OBS_TRACE_H_
+#define DORADB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doradb {
+namespace obs {
+
+enum class TraceStage : uint8_t {
+  kDispatch = 0,
+  kEnqueue = 1,
+  kDrain = 2,
+  kExecute = 3,
+  kCommitAppend = 4,
+  kDurable = 5,
+  kAck = 6,
+};
+constexpr size_t kNumTraceStages = 7;
+const char* TraceStageName(TraceStage s);
+
+struct TraceEvent {
+  uint64_t txn_id = 0;
+  uint64_t tsc = 0;  // Cycles::Now() at the stamp
+  TraceStage stage = TraceStage::kDispatch;
+};
+
+class CommitTracer {
+ public:
+  static constexpr size_t kDefaultRingSize = 4096;
+
+  // Start tracing with per-thread rings of `ring_size` events. Clears any
+  // events from a previous enable and resizes existing rings.
+  static void Enable(size_t ring_size = kDefaultRingSize);
+  static void Disable();
+  static bool Enabled() {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  // Record `stage` for `txn_id` at the current cycle count. A no-op
+  // (single relaxed load) while tracing is disabled.
+  static void Stamp(uint64_t txn_id, TraceStage stage) {
+    if (!Enabled()) return;
+    StampSlow(txn_id, stage);
+  }
+
+  // Merge every thread's ring into one list sorted by (txn_id, tsc).
+  // Safe to call while tracing is live; events stamped concurrently with
+  // the dump may or may not appear.
+  static std::vector<TraceEvent> Dump();
+
+  // Dump() grouped by transaction: one line per event with the stage name
+  // and nanoseconds since the transaction's first stamped event.
+  static std::string DumpText();
+
+ private:
+  static void StampSlow(uint64_t txn_id, TraceStage stage);
+
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace obs
+}  // namespace doradb
+
+#endif  // DORADB_OBS_TRACE_H_

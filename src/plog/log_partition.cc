@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "util/clock.h"
+
 namespace doradb {
 namespace plog {
 
@@ -22,42 +25,70 @@ Lsn LogPartition::Append(LogRecord* rec) {
 }
 
 void LogPartition::Flush(bool force_watermark) {
-  std::lock_guard<std::mutex> g(stable_mu_);
-  if (killed_) return;
-  std::vector<uint8_t> pending;
-  Lsn horizon, batch_gsn;
+  // Histogram records happen after stable_mu_ drops: commit acks gate on
+  // this mutex, so any cycles spent inside it (including the rdtsc pair)
+  // stretch the serialized flush section for every waiter. fsync timing
+  // is only taken on durable media — on the in-memory medium Sync() is a
+  // no-op and timing it would just measure the clock.
+  size_t flushed_bytes = 0;
+  uint64_t sync_ns = 0;
+  bool synced = false;
+  const bool metrics = obs::MetricsEnabled();
   {
-    TatasGuard b(buffer_latch_, TimeClass::kLogContention);
-    pending.swap(buffer_);
-    batch_gsn = buffer_last_gsn_;
-    // Buffer is empty and the latch blocks new stamps: every future record
-    // of this partition gets a GSN > horizon.
-    horizon = clock_->last_issued();
-  }
-  if (!pending.empty()) {
-    ScopedTimeClass timer(TimeClass::kLogWork);
-    stable_->AppendBatch(pending.data(), pending.size(), batch_gsn);
-    flushes_.fetch_add(1, std::memory_order_relaxed);
-  }
-  if (horizon > watermark_.load(std::memory_order_relaxed)) {
-    // Idle watermark-only advance on a durable medium: the header write +
-    // fdatasync buys no local durability (no new records), only a fresher
-    // persisted claim for cold restart. Periodic flushes may defer it for
-    // a bounded run of ticks; the watermark then stays put, so any waiter
-    // gating on it will come back with force_watermark and pay the sync.
-    if (pending.empty() && !force_watermark && stable_->durable() &&
-        idle_skips_ < idle_skip_limit_) {
-      ++idle_skips_;
-      idle_syncs_skipped_.fetch_add(1, std::memory_order_relaxed);
-      return;
+    std::lock_guard<std::mutex> g(stable_mu_);
+    if (killed_) return;
+    std::vector<uint8_t> pending;
+    Lsn horizon, batch_gsn;
+    {
+      TatasGuard b(buffer_latch_, TimeClass::kLogContention);
+      pending.swap(buffer_);
+      batch_gsn = buffer_last_gsn_;
+      // Buffer is empty and the latch blocks new stamps: every future record
+      // of this partition gets a GSN > horizon.
+      horizon = clock_->last_issued();
     }
-    // Durability before advertisement: commit acks gate on the watermark,
-    // so it must be persisted (data + claim, one fsync) before it moves.
-    ScopedTimeClass timer(TimeClass::kLogWork);
-    stable_->Sync(horizon);
-    watermark_.store(horizon, std::memory_order_release);
+    if (!pending.empty()) {
+      ScopedTimeClass timer(TimeClass::kLogWork);
+      stable_->AppendBatch(pending.data(), pending.size(), batch_gsn);
+      flushes_.fetch_add(1, std::memory_order_relaxed);
+      flushed_bytes = pending.size();
+    }
+    if (horizon > watermark_.load(std::memory_order_relaxed)) {
+      // Idle watermark-only advance on a durable medium: the header write +
+      // fdatasync buys no local durability (no new records), only a fresher
+      // persisted claim for cold restart. Periodic flushes may defer it for
+      // a bounded run of ticks; the watermark then stays put, so any waiter
+      // gating on it will come back with force_watermark and pay the sync.
+      if (pending.empty() && !force_watermark && stable_->durable() &&
+          idle_skips_ < idle_skip_limit_) {
+        ++idle_skips_;
+        idle_syncs_skipped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      // Durability before advertisement: commit acks gate on the watermark,
+      // so it must be persisted (data + claim, one fsync) before it moves.
+      ScopedTimeClass timer(TimeClass::kLogWork);
+      const bool time_sync = metrics && stable_->durable();
+      const uint64_t t0 = time_sync ? Cycles::Now() : 0;
+      stable_->Sync(horizon);
+      if (time_sync) {
+        sync_ns = static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0));
+        synced = true;
+      }
+      watermark_.store(horizon, std::memory_order_release);
+    }
+    idle_skips_ = 0;
   }
-  idle_skips_ = 0;
+  if (metrics && flushed_bytes > 0) {
+    static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        "log.group_commit_bytes", "bytes");
+    h->Record(flushed_bytes);
+  }
+  if (synced) {
+    static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        "log.fsync_ns", "ns");
+    h->Record(sync_ns);
+  }
 }
 
 Lsn LogPartition::RecoverFromStorage() {

@@ -9,6 +9,7 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/metrics.h"
 #include "util/clock.h"
 #include "util/sync_stats.h"
 
@@ -164,8 +165,15 @@ Status DiskManager::WritePage(PageId page_id, const void* data) {
 
 Status DiskManager::Sync() {
   if (fd_ < 0) return Status::OK();
+  const bool metrics = obs::MetricsEnabled();
+  const uint64_t t0 = metrics ? Cycles::Now() : 0;
   if (::fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync failed: " + path_);
+  }
+  if (metrics) {
+    static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(
+        "pages.fsync_ns", "ns");
+    h->Record(static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0)));
   }
   DurabilityStats::Count(kPageStoreStream, DurabilityCounter::kFsyncCalls);
   return Status::OK();

@@ -57,6 +57,11 @@ class Transaction {
   Lsn last_lsn() const { return last_lsn_; }
   void set_last_lsn(Lsn lsn) { last_lsn_ = lsn; }
 
+  // Cycle timestamp at Begin (TxnManager stamps it); the commit paths
+  // derive the commit-latency histogram from it. 0 = never stamped.
+  uint64_t start_tsc() const { return start_tsc_; }
+  void set_start_tsc(uint64_t tsc) { start_tsc_ = tsc; }
+
   // Checkpoint pin: a lower bound on the LSN of every undoable (heap)
   // record this transaction has logged or is about to log — set once,
   // immediately before its first heap-op append, to the clock's value at
@@ -170,6 +175,7 @@ class Transaction {
   const TxnId id_;
   TxnState state_ = TxnState::kActive;
   Lsn last_lsn_ = kInvalidLsn;
+  uint64_t start_tsc_ = 0;
   std::atomic<Lsn> undo_low_{kInvalidLsn};
 
   mutable TatasLock bk_lock_;  // serializes bookkeeping across executors

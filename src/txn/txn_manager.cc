@@ -1,10 +1,13 @@
 #include "txn/txn_manager.h"
 
+#include "util/clock.h"
+
 namespace doradb {
 
 std::unique_ptr<Transaction> TxnManager::Begin() {
   const TxnId id = next_id_.fetch_add(1, std::memory_order_relaxed);
   auto txn = std::make_unique<Transaction>(id);
+  txn->set_start_tsc(Cycles::Now());
   lm_->RegisterTxn(txn.get());
   // Log kBegin first, then register with its LSN: the checkpoint snapshot
   // must never observe an active transaction without a begin LSN. The

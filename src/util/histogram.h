@@ -31,6 +31,13 @@ class Histogram {
   // the containing bucket.
   uint64_t Percentile(double p) const;
 
+  // Raw log2 bucket count (bucket i covers [2^i, 2^(i+1)); values of 0
+  // land in bucket 0). The metrics snapshot copies these so windowed
+  // percentiles can be computed from bucket deltas.
+  uint64_t BucketCount(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
   void Reset();
   void Merge(const Histogram& other);
 

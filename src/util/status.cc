@@ -3,7 +3,9 @@
 namespace doradb {
 
 namespace {
-const char* CodeName(Status::Code code) {
+// ToString keeps its historical CamelCase labels; the metric-suffix form
+// is Status::CodeName (lowercase snake).
+const char* CamelCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk: return "OK";
     case Status::Code::kNotFound: return "NotFound";
@@ -23,7 +25,7 @@ const char* CodeName(Status::Code code) {
 }  // namespace
 
 std::string Status::ToString() const {
-  std::string out = CodeName(code_);
+  std::string out = CamelCodeName(code_);
   if (!msg_.empty()) {
     out += ": ";
     out += msg_;

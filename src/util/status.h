@@ -87,6 +87,26 @@ class Status {
   const std::string& message() const { return msg_; }
   std::string ToString() const;
 
+  // Stable lowercase label for the code, suitable as a metric-name suffix
+  // (e.g. "txn.aborts." + s.CodeName()).
+  const char* CodeName() const {
+    switch (code_) {
+      case Code::kOk: return "ok";
+      case Code::kNotFound: return "not_found";
+      case Code::kDuplicate: return "duplicate";
+      case Code::kDeadlock: return "deadlock";
+      case Code::kAborted: return "aborted";
+      case Code::kTimeout: return "timeout";
+      case Code::kBusy: return "busy";
+      case Code::kInvalidArgument: return "invalid_argument";
+      case Code::kFull: return "full";
+      case Code::kCorruption: return "corruption";
+      case Code::kNotSupported: return "not_supported";
+      case Code::kIOError: return "io_error";
+    }
+    return "unknown";
+  }
+
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace doradb {
 
 const char* TimeClassName(TimeClass tc) {
@@ -101,20 +103,43 @@ const char* DurabilityCounterName(DurabilityCounter dc) {
 
 namespace {
 
+// Durability counters now live in the process-wide metrics registry under
+// "durability.<stream>.<counter>"; this table maps streams to the backing
+// obs::Counter pointers so the legacy DurabilityStats API stays a thin
+// view over the registry (one set of numbers, two read surfaces).
 struct DurabilityRegistry {
+  struct CRow {
+    uint32_t stream;
+    std::array<obs::Counter*, kNumDurabilityCounters> counters{};
+  };
+
   std::mutex mu;
-  std::vector<DurabilityStats::Row> rows;
+  std::vector<CRow> rows;
 
   static DurabilityRegistry& Get() {
     static DurabilityRegistry* r = new DurabilityRegistry();  // leaked
     return *r;
   }
 
-  DurabilityStats::Row& RowFor(uint32_t stream) {  // mu held
+  static std::string StreamName(uint32_t stream) {
+    if (stream == kPageStoreStream) return "pages";
+    return "log-" + std::to_string(stream);
+  }
+
+  CRow& RowFor(uint32_t stream) {  // mu held
     for (auto& row : rows) {
       if (row.stream == stream) return row;
     }
-    rows.push_back(DurabilityStats::Row{stream, {}});
+    CRow row{stream, {}};
+    for (size_t i = 0; i < kNumDurabilityCounters; ++i) {
+      const auto dc = static_cast<DurabilityCounter>(i);
+      const std::string name =
+          "durability." + StreamName(stream) + "." + DurabilityCounterName(dc);
+      const char* unit =
+          dc == DurabilityCounter::kBytesFlushed ? "bytes" : "calls";
+      row.counters[i] = obs::MetricsRegistry::Default().GetCounter(name, unit);
+    }
+    rows.push_back(row);
     return rows.back();
   }
 };
@@ -125,13 +150,21 @@ void DurabilityStats::Count(uint32_t stream, DurabilityCounter dc,
                             uint64_t n) {
   DurabilityRegistry& reg = DurabilityRegistry::Get();
   std::lock_guard<std::mutex> g(reg.mu);
-  reg.RowFor(stream).counts[static_cast<size_t>(dc)] += n;
+  reg.RowFor(stream).counters[static_cast<size_t>(dc)]->Add(n);
 }
 
 std::vector<DurabilityStats::Row> DurabilityStats::Snapshot() {
   DurabilityRegistry& reg = DurabilityRegistry::Get();
   std::lock_guard<std::mutex> g(reg.mu);
-  std::vector<Row> out = reg.rows;
+  std::vector<Row> out;
+  out.reserve(reg.rows.size());
+  for (const auto& crow : reg.rows) {
+    Row row{crow.stream, {}};
+    for (size_t i = 0; i < kNumDurabilityCounters; ++i) {
+      row.counts[i] = crow.counters[i]->Value();
+    }
+    out.push_back(row);
+  }
   std::sort(out.begin(), out.end(), [](const Row& a, const Row& b) {
     return a.stream < b.stream;  // kPageStoreStream sorts last
   });
@@ -141,6 +174,11 @@ std::vector<DurabilityStats::Row> DurabilityStats::Snapshot() {
 void DurabilityStats::Reset() {
   DurabilityRegistry& reg = DurabilityRegistry::Get();
   std::lock_guard<std::mutex> g(reg.mu);
+  // Zero the backing registry counters but forget the rows, so a snapshot
+  // right after Reset is empty (the pre-migration behavior tests rely on).
+  for (auto& crow : reg.rows) {
+    for (auto* c : crow.counters) c->Reset();
+  }
   reg.rows.clear();
 }
 

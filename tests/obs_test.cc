@@ -1,0 +1,352 @@
+// Tests for the observability layer (src/obs/): histogram bucket math and
+// percentile interpolation, sharded-counter aggregation under concurrency,
+// registry snapshot/delta semantics, JSON round-tripping, the commit-path
+// tracer (ring wraparound + the seven lifecycle spans over a real DORA
+// run), and the background stats reporter's output format.
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dora/dora_engine.h"
+#include "obs/metrics.h"
+#include "obs/reporter.h"
+#include "obs/trace.h"
+#include "util/histogram.h"
+
+namespace doradb {
+namespace obs {
+namespace {
+
+// ----------------------------------------------------------- histogram math
+
+TEST(HistogramTest, BucketPlacement) {
+  Histogram h;
+  h.Record(0);  // bucket 0
+  h.Record(1);  // bucket 0
+  h.Record(2);  // bucket 1
+  h.Record(3);  // bucket 1
+  h.Record(4);  // bucket 2
+  h.Record(1024);  // bucket 10
+  h.Record(1025);  // bucket 10
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 2u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(10), 2u);
+  EXPECT_EQ(h.Count(), 7u);
+  EXPECT_EQ(h.Sum(), 0u + 1 + 2 + 3 + 4 + 1024 + 1025);
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 1025u);
+}
+
+TEST(HistogramTest, PercentileWithinBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.Record(1000);  // bucket 9: [512, 1024)
+  for (double p : {1.0, 50.0, 99.0, 99.9}) {
+    const uint64_t v = h.Percentile(p);
+    EXPECT_GE(v, 512u) << "p=" << p;
+    EXPECT_LE(v, 1024u) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, PercentileSeparatesModes) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.Record(8);          // bucket 3
+  for (int i = 0; i < 10; ++i) h.Record(1 << 20);    // bucket 20
+  EXPECT_LE(h.Percentile(50), 16u);
+  EXPECT_GE(h.Percentile(99), 1u << 20);
+  EXPECT_LE(h.Percentile(99), 1u << 21);
+}
+
+// ------------------------------------------------------------ counter/gauge
+
+TEST(CounterTest, MultiThreadedAggregation) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100000;
+  std::vector<std::thread> ts;
+  for (int t = 0; t < kThreads; ++t) {
+    ts.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Add();
+    });
+  }
+  for (auto& t : ts) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+// ---------------------------------------------------------------- registry
+
+TEST(RegistryTest, GetOrCreateIsStable) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.GetCounter("a.count");
+  Counter* c2 = reg.GetCounter("a.count");
+  EXPECT_EQ(c1, c2);
+  // A name keeps its first-registered kind; asking for another kind under
+  // the same name yields nullptr rather than aliasing.
+  EXPECT_EQ(reg.GetGauge("a.count"), nullptr);
+  EXPECT_EQ(reg.GetHistogram("a.count"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("z.last")->Add(1);
+  reg.GetGauge("a.first")->Set(-5);
+  reg.GetHistogram("m.middle")->Record(100);
+  const MetricsSnapshot s = reg.Snapshot();
+  ASSERT_EQ(s.metrics.size(), 3u);
+  EXPECT_EQ(s.metrics[0].name, "a.first");
+  EXPECT_EQ(s.metrics[1].name, "m.middle");
+  EXPECT_EQ(s.metrics[2].name, "z.last");
+  EXPECT_EQ(s.Find("a.first")->value, -5);
+  EXPECT_EQ(s.Find("m.middle")->count, 1u);
+  EXPECT_EQ(s.Find("z.last")->value, 1);
+  EXPECT_EQ(s.Find("missing"), nullptr);
+}
+
+TEST(RegistryTest, CallbackMetricsAndUnregister) {
+  MetricsRegistry reg;
+  std::atomic<int64_t> source{42};
+  const uint64_t token = reg.RegisterCallback(
+      "cb.value", [&source] { return source.load(); }, MetricType::kGauge,
+      "units");
+  const MetricsSnapshot s1 = reg.Snapshot();
+  ASSERT_NE(s1.Find("cb.value"), nullptr);
+  EXPECT_EQ(s1.Find("cb.value")->value, 42);
+  EXPECT_EQ(s1.Find("cb.value")->unit, "units");
+  reg.Unregister(token);
+  EXPECT_EQ(reg.Snapshot().Find("cb.value"), nullptr);
+}
+
+TEST(RegistryTest, SnapshotDeltaMath) {
+  MetricsRegistry reg;
+  Counter* c = reg.GetCounter("flow");
+  Gauge* g = reg.GetGauge("level");
+  Histogram* h = reg.GetHistogram("lat");
+
+  c->Add(10);
+  g->Set(3);
+  h->Record(100);
+  h->Record(200);
+  const MetricsSnapshot s0 = reg.Snapshot();
+
+  c->Add(5);
+  g->Set(7);
+  h->Record(1000);
+  const MetricsSnapshot s1 = reg.Snapshot();
+
+  const MetricsSnapshot d = s1.Delta(s0);
+  // Counters subtract (flow over the window).
+  EXPECT_EQ(d.Find("flow")->value, 5);
+  // Gauges keep the later level.
+  EXPECT_EQ(d.Find("level")->value, 7);
+  // Histograms subtract count/sum/buckets; percentiles cover the window —
+  // only the 1000ns record (bucket [512, 1024)) falls inside it.
+  EXPECT_EQ(d.Find("lat")->count, 1u);
+  EXPECT_EQ(d.Find("lat")->sum, 1000u);
+  EXPECT_GE(d.Find("lat")->p50, 512u);
+  EXPECT_LE(d.Find("lat")->p50, 1024u);
+}
+
+TEST(RegistryTest, ResetAllZeroes) {
+  MetricsRegistry reg;
+  reg.GetCounter("c")->Add(9);
+  reg.GetGauge("g")->Set(9);
+  reg.GetHistogram("h")->Record(9);
+  reg.ResetAll();
+  const MetricsSnapshot s = reg.Snapshot();
+  EXPECT_EQ(s.Find("c")->value, 0);
+  EXPECT_EQ(s.Find("g")->value, 0);
+  EXPECT_EQ(s.Find("h")->count, 0u);
+}
+
+TEST(RegistryTest, EnableGateToggles) {
+  EXPECT_TRUE(MetricsEnabled());  // default on
+  SetMetricsEnabled(false);
+  EXPECT_FALSE(MetricsEnabled());
+  SetMetricsEnabled(true);
+  EXPECT_TRUE(MetricsEnabled());
+}
+
+// --------------------------------------------------------------------- json
+
+TEST(JsonTest, RoundTripPreservesSummaries) {
+  MetricsRegistry reg;
+  reg.GetCounter("txn.count", "txns")->Add(123);
+  reg.GetGauge("queue.depth", "msgs")->Set(-4);
+  Histogram* h = reg.GetHistogram("commit.lat", "ns");
+  h->Record(100);
+  h->Record(5000);
+  const MetricsSnapshot orig = reg.Snapshot();
+
+  MetricsSnapshot parsed;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(orig.ToJson(), &parsed).ok());
+  EXPECT_EQ(parsed.wall_ms, orig.wall_ms);
+  ASSERT_EQ(parsed.metrics.size(), orig.metrics.size());
+  for (size_t i = 0; i < orig.metrics.size(); ++i) {
+    const MetricValue& a = orig.metrics[i];
+    const MetricValue& b = parsed.metrics[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.type, b.type);
+    EXPECT_EQ(a.unit, b.unit);
+    EXPECT_EQ(a.value, b.value);
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.sum, b.sum);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p99, b.p99);
+    EXPECT_EQ(a.p999, b.p999);
+  }
+}
+
+TEST(JsonTest, MalformedInputRejected) {
+  MetricsSnapshot out;
+  EXPECT_FALSE(MetricsSnapshot::FromJson("", &out).ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("not json", &out).ok());
+  EXPECT_FALSE(MetricsSnapshot::FromJson("{\"ts_ms\":1}", &out).ok());
+  EXPECT_FALSE(
+      MetricsSnapshot::FromJson("{\"ts_ms\":1,\"metrics\":{", &out).ok());
+}
+
+// -------------------------------------------------------------------- trace
+
+TEST(TraceTest, RingWrapsKeepingNewest) {
+  CommitTracer::Enable(/*ring_size=*/8);
+  for (uint64_t id = 1; id <= 20; ++id) {
+    CommitTracer::Stamp(id, TraceStage::kDispatch);
+  }
+  const std::vector<TraceEvent> events = CommitTracer::Dump();
+  CommitTracer::Disable();
+  ASSERT_EQ(events.size(), 8u) << "ring caps retained events";
+  std::set<uint64_t> ids;
+  for (const auto& e : events) ids.insert(e.txn_id);
+  // Newest stamps survive the wrap, oldest are overwritten.
+  EXPECT_TRUE(ids.count(20));
+  EXPECT_TRUE(ids.count(13));
+  EXPECT_FALSE(ids.count(1));
+}
+
+TEST(TraceTest, DisabledStampIsDropped) {
+  CommitTracer::Enable(16);
+  CommitTracer::Disable();
+  CommitTracer::Stamp(7, TraceStage::kDispatch);
+  CommitTracer::Enable(16);  // clears rings
+  EXPECT_TRUE(CommitTracer::Dump().empty());
+  CommitTracer::Disable();
+}
+
+// One committed DORA transaction must show every lifecycle span, in order:
+// dispatch → enqueue → drain → execute → commit-append → durable → ack.
+TEST(TraceTest, SevenSpansForCommittedTxn) {
+  Database::Options opts;
+  opts.buffer_frames = 1024;
+  Database db(opts);
+  TableId table;
+  ASSERT_TRUE(db.catalog()->CreateTable("t", &table).ok());
+  dora::DoraEngine engine(&db);
+  engine.RegisterTable(table, 100, 2);
+  engine.Start();
+
+  CommitTracer::Enable();
+  auto dtxn = engine.BeginTxn();
+  const uint64_t txn_id = dtxn->txn()->id();
+  dora::FlowGraph g;
+  g.AddPhase().AddAction(table, 5, dora::LocalMode::kX,
+                         [&](dora::ActionEnv& env) {
+                           Rid rid;
+                           return env.db->Insert(env.txn, table, "payload",
+                                                 &rid,
+                                                 AccessOptions::RidOnly());
+                         });
+  ASSERT_TRUE(engine.Run(dtxn, std::move(g)).ok());
+
+  const std::vector<TraceEvent> events = CommitTracer::Dump();
+  const std::string text = CommitTracer::DumpText();
+  CommitTracer::Disable();
+  engine.Stop();
+
+  std::vector<const TraceEvent*> mine;
+  for (const auto& e : events) {
+    if (e.txn_id == txn_id) mine.push_back(&e);
+  }
+  std::set<TraceStage> stages;
+  for (const auto* e : mine) stages.insert(e->stage);
+  ASSERT_EQ(stages.size(), kNumTraceStages)
+      << "expected all seven spans, got:\n"
+      << text;
+  // Dump() sorts a transaction's events by time; the lifecycle must come
+  // out in pipeline order.
+  for (size_t i = 1; i < mine.size(); ++i) {
+    EXPECT_GE(mine[i]->tsc, mine[i - 1]->tsc);
+  }
+  EXPECT_EQ(mine.front()->stage, TraceStage::kDispatch);
+  EXPECT_EQ(mine.back()->stage, TraceStage::kAck);
+  // The text dump names every stage for the sampled transaction.
+  for (size_t s = 0; s < kNumTraceStages; ++s) {
+    EXPECT_NE(text.find(TraceStageName(static_cast<TraceStage>(s))),
+              std::string::npos);
+  }
+}
+
+// ----------------------------------------------------------------- reporter
+
+TEST(ReporterTest, EmitsParsableStatsLines) {
+  MetricsRegistry reg;
+  reg.GetCounter("r.count")->Add(3);
+  FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  {
+    StatsReporter reporter(&reg, /*interval_ms=*/5, out);
+    reporter.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    reporter.Stop();
+    EXPECT_GE(reporter.lines_emitted(), 1u);
+  }
+  std::rewind(out);
+  char line[1 << 16];
+  size_t lines = 0;
+  while (std::fgets(line, sizeof(line), out) != nullptr) {
+    std::string s(line);
+    ASSERT_EQ(s.rfind("DORADB_STATS ", 0), 0u) << s;
+    if (!s.empty() && s.back() == '\n') s.pop_back();
+    MetricsSnapshot snap;
+    ASSERT_TRUE(
+        MetricsSnapshot::FromJson(s.substr(strlen("DORADB_STATS ")), &snap)
+            .ok())
+        << s;
+    ASSERT_NE(snap.Find("r.count"), nullptr);
+    EXPECT_EQ(snap.Find("r.count")->value, 3);
+    ++lines;
+  }
+  std::fclose(out);
+  EXPECT_GE(lines, 1u);
+}
+
+TEST(ReporterTest, ZeroIntervalStaysIdle) {
+  MetricsRegistry reg;
+  StatsReporter reporter(&reg, /*interval_ms=*/0);
+  reporter.Start();
+  reporter.Stop();
+  EXPECT_EQ(reporter.lines_emitted(), 0u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace doradb
