@@ -33,20 +33,34 @@
 //                         stderr at this cadence (default 0 = off)
 //   DORADB_TRACE_RING     >0: enable the commit-path tracer with rings of
 //                         this many events per thread (default 0 = off)
+//   DORADB_PROF_SAMPLE    stage-gap profiler sampling: every Nth txn is
+//                         stamped along the commit path (default 64,
+//                         0 = off) — read by the engine, listed here for
+//                         discoverability
+//   DORADB_WATCHDOG_MS    stall-watchdog cadence (default 250, 0 = off)
+//   DORADB_STALL_MS       heartbeat/horizon age that counts as a stall
+//                         (default 2000)
+//   DORADB_OBS_PORT       live metrics endpoint: unset/-1 off, 0 bind an
+//                         ephemeral loopback port (announced via a
+//                         "DORADB_OBS {json}" stderr line), >0 fixed port
 
 #ifndef DORADB_BENCH_BENCH_COMMON_H_
 #define DORADB_BENCH_BENCH_COMMON_H_
 
+#include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "dora/dora_engine.h"
 #include "engine/database.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
@@ -151,6 +165,10 @@ inline Database::Options DbOptions() {
   o.data_dir = ClaimRigDataDir();
   o.log_segment_bytes = EnvU64("DORADB_LOG_SEGMENT_BYTES", 1 << 18);
   o.stats_interval_ms = EnvU64("DORADB_STATS_INTERVAL_MS", 0);
+  o.watchdog_interval_ms = EnvU64("DORADB_WATCHDOG_MS", 250);
+  o.stall_threshold_ms = EnvU64("DORADB_STALL_MS", 2000);
+  const char* port = std::getenv("DORADB_OBS_PORT");
+  if (port != nullptr && port[0] != '\0') o.obs_port = std::atoi(port);
   return o;
 }
 
@@ -340,6 +358,72 @@ inline JsonRow ResultRow(const char* workload, const char* engine,
       .Int("latency_p99_ns", r.latency->Percentile(99));
   return row;
 }
+
+// Per-executor skew probe: snapshot every executor's busy cycles and
+// queue-wait buckets at window start, fold min/max busy fraction and the
+// worst per-executor windowed queue-wait p50/p99 into a BENCH_JSON row at
+// window end. A balanced run shows busy_min ≈ busy_max; a hot logical
+// partition shows up as one executor pinned at ~1.0 while others idle.
+class SkewProbe {
+ public:
+  explicit SkewProbe(dora::DoraEngine* engine) : engine_(engine) {
+    start_tsc_ = Cycles::Now();
+    for (dora::Executor* e : engine_->AllExecutors()) {
+      Base b;
+      b.busy_cycles = e->busy_cycles();
+      const Histogram* h = e->queue_wait_hist();
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        b.qwait_buckets[i] = h->BucketCount(i);
+      }
+      base_[e->global_index()] = b;
+    }
+  }
+
+  // Adds exec_busy_min/exec_busy_max and the worst executor's windowed
+  // queue-wait p50/p99 (exec_qwait_p50_max_ns/exec_qwait_p99_max_ns).
+  void Fold(JsonRow* row) const {
+    const uint64_t now = Cycles::Now();
+    const double span = static_cast<double>(now - start_tsc_);
+    double busy_min = 1.0, busy_max = 0.0;
+    uint64_t p50_max = 0, p99_max = 0;
+    bool any = false;
+    for (dora::Executor* e : engine_->AllExecutors()) {
+      auto it = base_.find(e->global_index());
+      if (it == base_.end() || span <= 0) continue;
+      any = true;
+      const double busy =
+          static_cast<double>(e->busy_cycles() - it->second.busy_cycles) /
+          span;
+      busy_min = std::min(busy_min, busy);
+      busy_max = std::max(busy_max, busy > 1.0 ? 1.0 : busy);
+      std::array<uint64_t, Histogram::kNumBuckets> delta{};
+      uint64_t total = 0;
+      const Histogram* h = e->queue_wait_hist();
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        delta[i] = h->BucketCount(i) - it->second.qwait_buckets[i];
+        total += delta[i];
+      }
+      p50_max = std::max(
+          p50_max, obs::LoadHeatmap::DeltaPercentile(delta, total, 50.0));
+      p99_max = std::max(
+          p99_max, obs::LoadHeatmap::DeltaPercentile(delta, total, 99.0));
+    }
+    if (!any) return;
+    row->Num("exec_busy_min", busy_min > busy_max ? 0.0 : busy_min)
+        .Num("exec_busy_max", busy_max)
+        .Int("exec_qwait_p50_max_ns", p50_max)
+        .Int("exec_qwait_p99_max_ns", p99_max);
+  }
+
+ private:
+  struct Base {
+    uint64_t busy_cycles = 0;
+    std::array<uint64_t, Histogram::kNumBuckets> qwait_buckets{};
+  };
+  dora::DoraEngine* const engine_;
+  uint64_t start_tsc_ = 0;
+  std::map<uint32_t, Base> base_;
+};
 
 class BenchJson {
  public:

@@ -25,6 +25,10 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
     for (const EngineKind kind : {EngineKind::kBaseline, EngineKind::kDora}) {
       ThreadStats::ResetAll();
       const auto s0 = engine->CollectInboxStats();
+      // Per-executor skew over the DORA window: min/max busy fraction and
+      // the worst executor's windowed queue-wait percentiles land on the
+      // DORA row, making load imbalance visible per ladder step.
+      SkewProbe skew(engine);
       const BenchResult r =
           RunBench(workload, MakeConfig(kind, engine, clients, txn_type));
       if (kind == EngineKind::kDora) {
@@ -32,7 +36,9 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
       }
       tps[i++] = r.throughput_tps;
       load = r.offered_load_pct;
-      BenchJson::Default().Add(ResultRow(label, EngineName(kind), clients, r));
+      JsonRow row = ResultRow(label, EngineName(kind), clients, r);
+      if (kind == EngineKind::kDora) skew.Fold(&row);
+      BenchJson::Default().Add(row);
     }
     std::printf("%-10.0f %14.0f %14.0f\n", load, tps[0], tps[1]);
     // Inbox efficiency at this load: batch draining should hold executor

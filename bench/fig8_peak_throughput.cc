@@ -25,7 +25,13 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
   Peak peaks[2];
   int i = 0;
   const auto s0 = engine->CollectInboxStats();
+  // Skew over the DORA ladder only: constructed lazily at the first DORA
+  // point so the baseline sweep's idle executors don't dilute the window.
+  std::unique_ptr<SkewProbe> skew;
   for (const EngineKind kind : {EngineKind::kBaseline, EngineKind::kDora}) {
+    if (kind == EngineKind::kDora) {
+      skew = std::make_unique<SkewProbe>(engine);
+    }
     for (uint32_t clients : ClientLadder()) {
       ThreadStats::ResetAll();
       const BenchResult r =
@@ -41,14 +47,15 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
               peaks[0].tps, peaks[0].at_load, peaks[1].tps, peaks[1].at_load,
               peaks[0].tps > 0 ? peaks[1].tps / peaks[0].tps : 0.0);
   PrintInboxStats(engine->CollectInboxStats() - s0);
-  BenchJson::Default().Add(
-      JsonRow()
-          .Str("workload", label)
-          .Num("base_peak_tps", peaks[0].tps)
-          .Num("base_peak_load_pct", peaks[0].at_load)
-          .Num("dora_peak_tps", peaks[1].tps)
-          .Num("dora_peak_load_pct", peaks[1].at_load)
-          .Num("speedup", peaks[0].tps > 0 ? peaks[1].tps / peaks[0].tps : 0));
+  JsonRow row;
+  row.Str("workload", label)
+      .Num("base_peak_tps", peaks[0].tps)
+      .Num("base_peak_load_pct", peaks[0].at_load)
+      .Num("dora_peak_tps", peaks[1].tps)
+      .Num("dora_peak_load_pct", peaks[1].at_load)
+      .Num("speedup", peaks[0].tps > 0 ? peaks[1].tps / peaks[0].tps : 0);
+  if (skew != nullptr) skew->Fold(&row);
+  BenchJson::Default().Add(row);
 }
 
 }  // namespace

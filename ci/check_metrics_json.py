@@ -8,26 +8,59 @@ format, normally on stderr) and fails if:
   * no stats line is found at all;
   * any stats payload is not valid JSON;
   * a payload is missing "ts_ms" (int) or "metrics" (non-empty object);
+  * a payload carries a "reason" that is not "interval" or "final";
   * a metric entry has an unknown "type", or lacks the fields its type
     requires ("value" for counter/gauge; count/sum/min/max/p50/p95/p99/
-    p999 for histogram);
+    p999 for histogram). Percentile fields may be null, but only on a
+    zero-sample window (count == 0) — a populated histogram must report
+    integer percentiles, and an empty one must not fake a 0;
   * across all lines, no metric was seen from one of the engine's core
-    namespaces (dora., log., txn., ckpt.) — the smoke runs a started
-    engine, so every subsystem must have checked in.
+    namespaces (dora., log., txn., ckpt., prof.) — the smoke runs a
+    started engine, so every subsystem (including the stage-gap
+    profiler) must have checked in.
 
-Also validates any "BENCH_JSON {json}" lines it encounters (bench result
-lines, normally on stdout) as well-formed JSON with a "bench" name and a
-"rows" array, so redirected smoke logs get both formats checked.
+Also validates:
+  * "DORADB_HEATMAP {json}" lines (the reporter's per-executor load
+    windows): seq/ts_ms/span_ms plus an "executors" array whose rows
+    carry exec/depth/drained_per_s/qwait_p99_ns/busy_frac;
+  * "BENCH_JSON {json}" lines (bench result lines, normally on stdout)
+    as well-formed JSON with a "bench" name and a "rows" array,
+so redirected smoke logs get every machine format checked.
 """
 
 import json
 import sys
 
 STATS_PREFIX = "DORADB_STATS "
+HEATMAP_PREFIX = "DORADB_HEATMAP "
 BENCH_PREFIX = "BENCH_JSON "
 VALID_TYPES = {"counter", "gauge", "histogram"}
-HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "p50", "p95", "p99", "p999")
-REQUIRED_NAMESPACES = ("dora.", "log.", "txn.", "ckpt.")
+HISTOGRAM_COUNT_FIELDS = ("count", "sum")
+HISTOGRAM_VALUE_FIELDS = ("min", "max", "p50", "p95", "p99", "p999")
+HEATMAP_ROW_FIELDS = ("exec", "depth", "drained_per_s", "qwait_p99_ns",
+                      "busy_frac")
+VALID_REASONS = {"interval", "final"}
+REQUIRED_NAMESPACES = ("dora.", "log.", "txn.", "ckpt.", "prof.")
+
+
+def check_histogram(where, name, m, errors):
+    for field in HISTOGRAM_COUNT_FIELDS:
+        if not isinstance(m.get(field), int):
+            errors.append(f"{where}: histogram {name!r} lacks integer {field!r}")
+            return
+    empty = m["count"] == 0
+    for field in HISTOGRAM_VALUE_FIELDS:
+        v = m.get(field, "missing")
+        if v is None:
+            # null percentiles are the zero-sample-window contract: an
+            # empty delta window has no percentiles, and must say so
+            # rather than report a misleading 0.
+            if not empty:
+                errors.append(f"{where}: histogram {name!r} has null {field!r} "
+                              f"despite count={m['count']}")
+        elif not isinstance(v, int):
+            errors.append(f"{where}: histogram {name!r} lacks integer {field!r}")
+            return
 
 
 def check_stats_payload(where, payload, errors, seen_names):
@@ -35,13 +68,16 @@ def check_stats_payload(where, payload, errors, seen_names):
         obj = json.loads(payload)
     except json.JSONDecodeError as e:
         errors.append(f"{where}: invalid JSON: {e}")
-        return
+        return None
     if not isinstance(obj.get("ts_ms"), int):
         errors.append(f"{where}: missing/non-integer ts_ms")
+    reason = obj.get("reason")
+    if reason is not None and reason not in VALID_REASONS:
+        errors.append(f"{where}: bad reason {reason!r}")
     metrics = obj.get("metrics")
     if not isinstance(metrics, dict) or not metrics:
         errors.append(f"{where}: missing/empty metrics object")
-        return
+        return reason
     for name, m in metrics.items():
         if not isinstance(m, dict):
             errors.append(f"{where}: metric {name!r} is not an object")
@@ -53,13 +89,41 @@ def check_stats_payload(where, payload, errors, seen_names):
         if mtype in ("counter", "gauge"):
             if not isinstance(m.get("value"), int):
                 errors.append(f"{where}: {mtype} {name!r} lacks integer value")
-        else:  # histogram
-            for field in HISTOGRAM_FIELDS:
-                if not isinstance(m.get(field), int):
-                    errors.append(
-                        f"{where}: histogram {name!r} lacks integer {field!r}")
-                    break
+        else:
+            check_histogram(where, name, m, errors)
         seen_names.add(name)
+    return reason
+
+
+def check_heatmap_payload(where, payload, errors):
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: invalid DORADB_HEATMAP JSON: {e}")
+        return
+    if not isinstance(obj.get("seq"), int) or obj["seq"] < 1:
+        errors.append(f"{where}: heatmap window lacks positive integer seq")
+    if not isinstance(obj.get("ts_ms"), int):
+        errors.append(f"{where}: heatmap window lacks integer ts_ms")
+    if not isinstance(obj.get("span_ms"), (int, float)):
+        errors.append(f"{where}: heatmap window lacks numeric span_ms")
+    rows = obj.get("executors")
+    if not isinstance(rows, list):
+        errors.append(f"{where}: heatmap window lacks executors array")
+        return
+    for row in rows:
+        if not isinstance(row, dict):
+            errors.append(f"{where}: heatmap executor row is not an object")
+            continue
+        for field in HEATMAP_ROW_FIELDS:
+            if not isinstance(row.get(field), (int, float)):
+                errors.append(
+                    f"{where}: heatmap row lacks numeric {field!r}")
+                break
+        else:
+            if not 0.0 <= row["busy_frac"] <= 1.0:
+                errors.append(f"{where}: busy_frac {row['busy_frac']} "
+                              f"outside [0,1]")
 
 
 def check_bench_payload(where, payload, errors):
@@ -80,7 +144,9 @@ def main(argv):
         return 2
     errors = []
     seen_names = set()
+    seen_reasons = set()
     stats_lines = 0
+    heatmap_lines = 0
     bench_lines = 0
     for path in argv[1:]:
         with open(path, "r", errors="replace") as f:
@@ -89,8 +155,14 @@ def main(argv):
                 where = f"{path}:{i}"
                 if line.startswith(STATS_PREFIX):
                     stats_lines += 1
-                    check_stats_payload(where, line[len(STATS_PREFIX):],
-                                        errors, seen_names)
+                    reason = check_stats_payload(
+                        where, line[len(STATS_PREFIX):], errors, seen_names)
+                    if reason is not None:
+                        seen_reasons.add(reason)
+                elif line.startswith(HEATMAP_PREFIX):
+                    heatmap_lines += 1
+                    check_heatmap_payload(where, line[len(HEATMAP_PREFIX):],
+                                          errors)
                 elif line.startswith(BENCH_PREFIX):
                     bench_lines += 1
                     check_bench_payload(where, line[len(BENCH_PREFIX):],
@@ -101,11 +173,16 @@ def main(argv):
         for ns in REQUIRED_NAMESPACES:
             if not any(n.startswith(ns) for n in seen_names):
                 errors.append(f"no metric from namespace {ns!r} ever reported")
+        # A reporter that tagged any line must have closed with a final
+        # flush; endpoint-only captures (no reason field at all) are fine.
+        if seen_reasons and "final" not in seen_reasons:
+            errors.append("reporter lines carry reasons but no 'final' line "
+                          "(Stop() flush missing?)")
     for e in errors:
         print(f"check_metrics_json: {e}", file=sys.stderr)
     print(f"check_metrics_json: {stats_lines} stats line(s), "
-          f"{bench_lines} bench line(s), {len(seen_names)} distinct metrics, "
-          f"{len(errors)} error(s)")
+          f"{heatmap_lines} heatmap line(s), {bench_lines} bench line(s), "
+          f"{len(seen_names)} distinct metrics, {len(errors)} error(s)")
     return 1 if errors else 0
 
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 
@@ -30,9 +31,18 @@ void CheckpointCoordinator::Stop() {
 }
 
 void CheckpointCoordinator::DaemonLoop() {
+  // Watchdog heartbeat: checkpoints legitimately take a while (they flush
+  // pages), so the beat lands before AND after each DoCheckpoint — only a
+  // checkpoint exceeding the stall threshold reads as stuck.
+  obs::ScopedHeartbeat hb("ckpt.daemon");
   while (!stop_.load(std::memory_order_acquire)) {
+    hb->SetStage("nap");
+    hb->SetIdle(true);
     NapMicros(options_.interval_us);
+    hb->SetIdle(false);
     if (stop_.load(std::memory_order_acquire)) return;
+    hb->SetStage("checkpoint");
+    hb->Beat();
     if (options_.partition_local) {
       const uint32_t p = options_.adaptive
                              ? PickPartition()
@@ -41,6 +51,7 @@ void CheckpointCoordinator::DaemonLoop() {
     } else {
       (void)DoCheckpoint(kCheckpointAllPartitions, /*all_partitions=*/true);
     }
+    hb->Beat();
   }
 }
 

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/heartbeat.h"
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "util/thread_pool.h"
 
@@ -90,14 +93,32 @@ void DoraEngine::Start() {
       ack_shards_[p % shards]->queues.emplace_back(p,
                                                    std::deque<CommitAck>());
     }
-    for (auto& shard : ack_shards_) {
-      shard->daemon =
-          std::thread([this, s = shard.get()] { AckLoop(s); });
+    for (size_t i = 0; i < ack_shards_.size(); ++i) {
+      AckShard* s = ack_shards_[i].get();
+      ack_shards_[i]->daemon = std::thread([this, s, i] { AckLoop(s, i); });
     }
   }
   for (auto& [table, group] : tables_) {
     for (auto& e : group->executors) e->Start();
   }
+
+  // Stage-gap profiler: picks up DORADB_PROF_SAMPLE on the first engine
+  // start (an explicit StageGapProfiler::Enable beforehand wins).
+  obs::StageGapProfiler::EnsureInitFromEnv();
+
+  // Register this engine's executors as a load-heatmap source: the
+  // watchdog's periodic sweep (or an explicit LoadHeatmap::Sweep in tests)
+  // pulls each executor's raw counters and turns deltas into per-window
+  // rates. Unregistered in Stop() before executors die.
+  heatmap_token_ = obs::LoadHeatmap::Default().RegisterSource([this] {
+    std::vector<obs::ExecLoadRaw> out;
+    for (Executor* e : AllExecutors()) {
+      out.push_back(obs::ExecLoadRaw{
+          e->global_index(), static_cast<uint64_t>(e->inbox_depth()),
+          e->actions_executed(), e->busy_cycles(), e->queue_wait_hist()});
+    }
+    return out;
+  });
 
   // Fold the engine's existing atomics into the metrics registry as
   // pull-style callbacks — InboxStats and the txn counters keep their
@@ -159,6 +180,10 @@ void DoraEngine::Stop() {
     obs::MetricsRegistry::Default().Unregister(token);
   }
   obs_tokens_.clear();
+  if (heatmap_token_ != 0) {
+    obs::LoadHeatmap::Default().UnregisterSource(heatmap_token_);
+    heatmap_token_ = 0;
+  }
   // Executors first (no new commits enter the ack queues), then drain the
   // ack daemons so every in-flight commit is acknowledged durable.
   for (auto& [table, group] : tables_) {
@@ -180,13 +205,19 @@ void DoraEngine::Stop() {
   started_ = false;
 }
 
-void DoraEngine::AckLoop(AckShard* shard) {
+void DoraEngine::AckLoop(AckShard* shard, size_t idx) {
+  // Watchdog heartbeat: a daemon blocked in WaitFlushedFrom with commits
+  // outstanding shows up as stalled-in-"wait-durable"; an empty queue is
+  // marked idle so quiet periods never read as stalls.
+  obs::ScopedHeartbeat hb("dora.ack." + std::to_string(idx));
   // (partition, batch) pairs drained from the shard's queues.
   std::vector<std::pair<uint32_t, std::deque<CommitAck>>> drained;
   for (;;) {
     drained.clear();
     {
       std::unique_lock<std::mutex> lk(shard->mu);
+      hb->SetStage("wait-work");
+      hb->SetIdle(true);
       shard->cv.wait(lk, [&] {
         if (shard->stop) return true;
         for (const auto& [p, q] : shard->queues) {
@@ -194,6 +225,7 @@ void DoraEngine::AckLoop(AckShard* shard) {
         }
         return false;
       });
+      hb->SetIdle(false);
       bool any = false;
       for (auto& [p, q] : shard->queues) {
         if (q.empty()) continue;
@@ -210,10 +242,16 @@ void DoraEngine::AckLoop(AckShard* shard) {
       // elsewhere — so it is left unattributed.
       Lsn max_gsn = kInvalidLsn;
       for (const auto& ack : batch) max_gsn = std::max(max_gsn, ack.gsn);
+      hb->SetStage("wait-durable");
       db_->log_manager()->WaitFlushedFrom(partition, max_gsn);
+      hb->Beat();
+      hb->SetStage("ack");
       for (auto& ack : batch) {
         Transaction* txn = ack.dtxn->txn();
         obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
+        if (ack.dtxn->prof.armed) {
+          ack.dtxn->prof.Stamp(obs::TraceStage::kDurable);
+        }
         const Status s = db_->CommitFinalize(txn);
         committed_.fetch_add(1, std::memory_order_relaxed);
         pipelined_.fetch_add(1, std::memory_order_relaxed);
@@ -222,6 +260,10 @@ void DoraEngine::AckLoop(AckShard* shard) {
               Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
         }
         obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kAck);
+        if (ack.dtxn->prof.armed) {
+          ack.dtxn->prof.Stamp(obs::TraceStage::kAck);
+          obs::StageGapProfiler::RecordTxn(ack.dtxn->prof);
+        }
         ack.dtxn->Complete(s);
         ack.dtxn->Unref();  // ack queue's reference
       }
@@ -281,6 +323,13 @@ Status DoraEngine::Run(const DoraTxnRef& dtxn, FlowGraph&& graph) {
     }
   }
   obs::CommitTracer::Stamp(t->txn()->id(), obs::TraceStage::kDispatch);
+  // Arm the always-on stage-gap profiler for 1-in-N transactions: the
+  // stamps ride in the txn context (relaxed first-wins CAS per slot) and
+  // fold into registry histograms exactly once at completion.
+  if (obs::StageGapProfiler::Sample(t->txn()->id())) {
+    t->prof.armed = true;
+    t->prof.Stamp(obs::TraceStage::kDispatch);
+  }
   DispatchPhase(t, 0);
   return t->Wait();
 }
@@ -347,6 +396,10 @@ void DoraEngine::DispatchPhase(DoraTxn* dtxn, size_t phase) {
   // deadlocks between them. Single-executor phases (the common case) skip
   // the ticket entirely.
   const uint64_t ticket = multi ? tickets_.Take() : 0;
+  // Profiler enqueue stamp lands BEFORE the pushes (first-wins: only the
+  // txn's first phase records), so drain - enqueue is a true queue wait
+  // even when the executor drains faster than this loop finishes.
+  if (dtxn->prof.armed) dtxn->prof.Stamp(obs::TraceStage::kEnqueue);
   for (Action* a : actions) {
     a->ticket = ticket;
     a->owner->PushToInbox(a);
@@ -398,6 +451,9 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     const Lsn commit_gsn = db_->CommitAsync(dtxn->txn());
     obs::CommitTracer::Stamp(dtxn->txn()->id(),
                              obs::TraceStage::kCommitAppend);
+    if (dtxn->prof.armed) {
+      dtxn->prof.Stamp(obs::TraceStage::kCommitAppend);
+    }
     FanOutCompletions(dtxn);  // early lock release, pre-durability
     // Inline-ack fast path: when the global flush horizon already covers
     // the commit GSN (synchronous log, or a flusher won the race), the
@@ -406,6 +462,9 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
     if (db_->log_manager()->flushed_lsn() >= commit_gsn) {
       Transaction* txn = dtxn->txn();
       obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
+      if (dtxn->prof.armed) {
+        dtxn->prof.Stamp(obs::TraceStage::kDurable);
+      }
       const Status s = db_->CommitFinalize(txn);
       committed_.fetch_add(1, std::memory_order_relaxed);
       pipelined_.fetch_add(1, std::memory_order_relaxed);
@@ -415,6 +474,10 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
             Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
       }
       obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kAck);
+      if (dtxn->prof.armed) {
+        dtxn->prof.Stamp(obs::TraceStage::kAck);
+        obs::StageGapProfiler::RecordTxn(dtxn->prof);
+      }
       dtxn->Complete(s);
       return;
     }
@@ -450,13 +513,27 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn) {
           ->Add();
     }
   } else {
+    // Synchronous commit bundles append + durable flush; bracket it so the
+    // profiled flush_wait gap (append->durable) covers the blocking wait.
+    if (dtxn->prof.armed) {
+      dtxn->prof.Stamp(obs::TraceStage::kCommitAppend);
+    }
     final_status = db_->Commit(dtxn->txn());
+    if (dtxn->prof.armed) {
+      dtxn->prof.Stamp(obs::TraceStage::kDurable);
+    }
     committed_.fetch_add(1, std::memory_order_relaxed);
   }
 
   // Completion fan-out (§A.1 steps 10-12) after commit/abort completes.
   FanOutCompletions(dtxn);
   obs::CommitTracer::Stamp(dtxn->txn()->id(), obs::TraceStage::kAck);
+  if (dtxn->prof.armed) {
+    dtxn->prof.Stamp(obs::TraceStage::kAck);
+    // Aborted transactions record too: their missing durable/append
+    // endpoints simply skip those gaps.
+    obs::StageGapProfiler::RecordTxn(dtxn->prof);
+  }
   dtxn->Complete(std::move(final_status));
 }
 

@@ -211,7 +211,9 @@ class DoraEngine {
     std::thread daemon;
   };
 
-  void AckLoop(AckShard* shard);
+  // `idx` is the shard's position in ack_shards_, used only to name the
+  // daemon's watchdog heartbeat ("dora.ack.<idx>").
+  void AckLoop(AckShard* shard, size_t idx);
   // Completion fan-out (§A.1 steps 10-12): hand the txn back to every
   // executor that ran one of its actions so they release local locks.
   // Each message carries one reference on the context.
@@ -255,6 +257,11 @@ class DoraEngine {
   // Stop — the callbacks read this engine's executors, so they must not
   // outlive it in the process-wide registry).
   std::vector<uint64_t> obs_tokens_;
+
+  // Load-heatmap source token (obs/heatmap.h): Start registers a source
+  // that snapshots every executor's raw load counters; Stop unregisters it
+  // before stopping executors, for the same lifetime reason as above.
+  uint64_t heatmap_token_ = 0;
 };
 
 }  // namespace dora

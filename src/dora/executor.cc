@@ -21,6 +21,9 @@ Executor::Executor(DoraEngine* engine, Database* db, TableId table,
           "dora.inbox.batch_size", "msgs")),
       drain_wait_hist_(obs::MetricsRegistry::Default().GetHistogram(
           "dora.inbox.drain_wait_ns", "ns")),
+      queue_wait_hist_(obs::MetricsRegistry::Default().GetHistogram(
+          "dora.exec." + std::to_string(global_index) + ".queue_wait_ns",
+          "ns")),
       ticket_deferred_(obs::MetricsRegistry::Default().GetCounter(
           "dora.tickets.deferred", "actions")) {}
 
@@ -45,6 +48,11 @@ void Executor::Stop() {
 }
 
 void Executor::Loop() {
+  // Watchdog heartbeat: beaten once per batch, marked idle across the
+  // park so an empty inbox never reads as a stall, but a body that never
+  // returns does (stage stays "execute", beats stop).
+  obs::ScopedHeartbeat hb("dora.exec." + std::to_string(global_index_));
+  hb_ = hb.get();
   // First step of the NUMA roadmap item: partition-index affinity. The
   // executor, its log partition, and its core all share global_index_, so
   // an action's locks, WAL appends, and working set stay on one context.
@@ -62,7 +70,14 @@ void Executor::Loop() {
       chain = inbox_.TryDrain();
     }
     if (locks_.num_parked() != 0) ExpireStaleParked(timeout_cycles);
+    // Busy-fraction accounting for the load heatmap: cycles spent in
+    // batches that did work, over the wall cycles of the window.
+    const bool metrics = obs::MetricsEnabled();
+    const uint64_t t0 = metrics ? Cycles::Now() : 0;
     const bool did = ProcessInbox(chain);
+    if (metrics && did) {
+      busy_cycles_.fetch_add(Cycles::Now() - t0, std::memory_order_relaxed);
+    }
     if (did) continue;
     if (!deferred_.empty()) {
       // Waiting on the published-ticket horizon: the owning dispatcher is
@@ -71,11 +86,17 @@ void Executor::Loop() {
       sched_yield();
       continue;
     }
-    if (stop_seen_) return;
+    if (stop_seen_) {
+      hb_ = nullptr;
+      return;
+    }
     // Nothing runnable anywhere: park. With parked actions present, wake
     // periodically to expire stale waits (cross-graph local-lock deadlock
     // resolution); otherwise sleep until a producer pushes.
+    hb->SetStage("park");
+    hb->SetIdle(true);
     chain = inbox_.Park(locks_.num_parked() != 0 ? 20000 : -1);
+    hb->SetIdle(false);
     if (chain != nullptr) ProcessInbox(chain);
   }
 }
@@ -99,6 +120,10 @@ void Executor::Classify(MpscNode* chain) {
         if (tracing) {
           obs::CommitTracer::Stamp(a->dtxn->txn()->id(),
                                    obs::TraceStage::kDrain);
+        }
+        if (a->dtxn->prof.armed) {
+          a->dtxn->prof.Stamp(obs::TraceStage::kDrain);
+          a->dtxn->prof.SetExecutor(global_index_);
         }
         if (a->ticket == 0) {
           ready_.push_back(a);
@@ -136,8 +161,10 @@ void Executor::Classify(MpscNode* chain) {
       if (oldest_tsc != 0) {
         const uint64_t now = Cycles::Now();
         if (now > oldest_tsc) {
-          drain_wait_hist_->Record(
-              static_cast<uint64_t>(Cycles::ToNanos(now - oldest_tsc)));
+          const uint64_t wait_ns =
+              static_cast<uint64_t>(Cycles::ToNanos(now - oldest_tsc));
+          drain_wait_hist_->Record(wait_ns);
+          queue_wait_hist_->Record(wait_ns);  // per-executor skew signal
         }
       }
     }
@@ -147,6 +174,10 @@ void Executor::Classify(MpscNode* chain) {
 bool Executor::ProcessInbox(MpscNode* chain) {
   bool did = chain != nullptr;
   for (;;) {
+    if (hb_ != nullptr) {
+      hb_->Beat();
+      hb_->SetStage("run");
+    }
     if (chain != nullptr) {
       ScopedTimeClass timer(TimeClass::kDoraQueue);
       Classify(chain);
@@ -238,6 +269,9 @@ void Executor::ExecuteGranted(Action* a) {
   // DORA-P abort handling (§A.4): check for a sibling's abort before doing
   // any work; the action still participates in RVP accounting.
   if (!dtxn->aborted() && a->body) {
+    // Publish the stage so a body that never returns shows up in the
+    // watchdog's per-thread table as stalled-in-execute.
+    if (hb_ != nullptr) hb_->SetStage("execute");
     ActionEnv env{db_, dtxn->txn(), dtxn, this};
     ScopedTimeClass work(TimeClass::kWork);
     const Status s = a->body(env);
@@ -245,6 +279,7 @@ void Executor::ExecuteGranted(Action* a) {
   }
   actions_executed_.fetch_add(1, std::memory_order_relaxed);
   obs::CommitTracer::Stamp(dtxn->txn()->id(), obs::TraceStage::kExecute);
+  if (dtxn->prof.armed) dtxn->prof.Stamp(obs::TraceStage::kExecute);
   ReportToRvp(a);
 }
 

@@ -24,6 +24,7 @@
 
 #include "dora/action.h"
 #include "dora/local_lock_table.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "util/mpsc_queue.h"
 
@@ -88,6 +89,15 @@ class Executor {
                       static_cast<int64_t>(inbox_items());
     return d > 0 ? d : 0;
   }
+  // Cycles spent inside ProcessInbox batches that did work (metrics on).
+  // busy_cycles delta / wall cycles delta = the executor's busy fraction
+  // over a window; the load heatmap sweeps this.
+  uint64_t busy_cycles() const {
+    return busy_cycles_.load(std::memory_order_relaxed);
+  }
+  // Per-executor queue-wait histogram (dora.exec.<g>.queue_wait_ns);
+  // the heatmap computes windowed p99 from its bucket deltas.
+  const Histogram* queue_wait_hist() const { return queue_wait_hist_; }
 
  private:
   friend class DoraEngine;
@@ -130,12 +140,18 @@ class Executor {
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> items_{0};
   std::atomic<uint64_t> pushed_{0};
+  std::atomic<uint64_t> busy_cycles_{0};
+
+  // Watchdog heartbeat, registered for the lifetime of Loop(). Only this
+  // thread writes through it; the watchdog reads via table snapshots.
+  obs::Heartbeats::Handle* hb_ = nullptr;
 
   // Registry-owned instrumentation, shared across executors (resolved once
   // at construction; hot paths record through the cached pointers gated on
   // obs::MetricsEnabled()).
   Histogram* batch_size_hist_;      // dora.inbox.batch_size
   Histogram* drain_wait_hist_;      // dora.inbox.drain_wait_ns
+  Histogram* queue_wait_hist_;      // dora.exec.<g>.queue_wait_ns
   obs::Counter* ticket_deferred_;   // dora.tickets.deferred
 };
 

@@ -1,6 +1,7 @@
 #include "engine/database.h"
 
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "plog/partitioned_log_manager.h"
 #include "util/clock.h"
 
@@ -154,16 +155,59 @@ Database::Database(Options options)
         &reg, options_.stats_interval_ms);
     reporter_->Start();
   }
+  // Stall watchdog: refcounted process-wide thread; the last-retaining
+  // database's options win. A stuck group-commit horizon — appends past
+  // the flushed LSN that stop advancing — is a stall even when every
+  // thread still heartbeats, so it gets its own progress probe.
+  if (options_.watchdog_interval_ms != 0) {
+    obs::Watchdog::Options wo;
+    wo.interval_ms = options_.watchdog_interval_ms;
+    wo.stall_ms = options_.stall_threshold_ms;
+    wo.dump_dir = options_.data_dir;  // empty: render-only, no files
+    obs::Watchdog::Default().Retain(wo);
+    watchdog_retained_ = true;
+    horizon_probe_token_ = obs::Watchdog::Default().RegisterProgressProbe(
+        "log.flush_horizon",
+        [this] { return log_->current_lsn() > log_->flushed_lsn(); },
+        [this] { return static_cast<uint64_t>(log_->flushed_lsn()); });
+  }
+  // Live metrics endpoint: loopback HTTP serving /metrics, /heatmap and
+  // /healthz. Port 0 binds ephemerally and announces the choice on stderr
+  // so harnesses (and humans) can find it.
+  if (options_.obs_port >= 0) {
+    obs::ObsServer::Options so;
+    so.port = options_.obs_port;
+    obs_server_ = std::make_unique<obs::ObsServer>(so);
+    const Status s = obs_server_->Start();
+    if (s.ok()) {
+      fprintf(stderr, "DORADB_OBS {\"port\":%d}\n", obs_server_->port());
+      fflush(stderr);
+    } else {
+      fprintf(stderr, "DORADB_OBS {\"error\":\"%s\"}\n", s.ToString().c_str());
+      obs_server_.reset();
+    }
+  }
 }
 
 Database::~Database() {
-  // Reporter first (it snapshots the registry, whose callbacks read the
-  // members below), then the callbacks themselves.
+  // Endpoint first (it serves the registry and the watchdog verdict),
+  // then reporter (it snapshots the registry, whose callbacks read the
+  // members below), then the callbacks themselves, then the watchdog
+  // probe + retain (the probe reads log_).
+  if (obs_server_ != nullptr) obs_server_->Stop();
   if (reporter_ != nullptr) reporter_->Stop();
   for (const uint64_t token : obs_tokens_) {
     obs::MetricsRegistry::Default().Unregister(token);
   }
   obs_tokens_.clear();
+  if (horizon_probe_token_ != 0) {
+    obs::Watchdog::Default().UnregisterProbe(horizon_probe_token_);
+    horizon_probe_token_ = 0;
+  }
+  if (watchdog_retained_) {
+    obs::Watchdog::Default().Release();
+    watchdog_retained_ = false;
+  }
   // The checkpoint daemon reads the pool and appends to the log; stop it
   // before either can die. Members then destroy in reverse declaration
   // order, which tears the log down before the pool — so flush dirty pages

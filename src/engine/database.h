@@ -26,6 +26,7 @@
 #include "log/log_backend.h"
 #include "log/log_manager.h"
 #include "obs/metrics.h"
+#include "obs/obs_server.h"
 #include "obs/reporter.h"
 #include "storage/buffer_pool.h"
 #include "storage/catalog.h"
@@ -89,6 +90,20 @@ class Database {
     // "DORADB_STATS {json}" line to stderr per interval (src/obs/). Off by
     // default; benches and quickstart wire it to DORADB_STATS_INTERVAL_MS.
     uint64_t stats_interval_ms = 0;
+    // Stall watchdog (obs/watchdog.h): nonzero runs the process-wide
+    // watchdog thread at this cadence while the database lives, sweeping
+    // the load heatmap and checking heartbeats + progress probes; on an
+    // unhealthy verdict it dumps a flight-recorder report under
+    // <data_dir>/blackbox/ (memory mode: report rendering only, no file).
+    // 0 disables. Benches wire DORADB_WATCHDOG_MS.
+    uint64_t watchdog_interval_ms = 250;
+    // A heartbeat older than this (non-idle), or a flush horizon stuck
+    // with appends outstanding for this long, counts as a stall.
+    uint64_t stall_threshold_ms = 2000;
+    // Live metrics endpoint (obs/obs_server.h): -1 off (default), 0 binds
+    // an ephemeral loopback port (announced as "DORADB_OBS {json}" on
+    // stderr), >0 binds that port. Serves /metrics, /heatmap, /healthz.
+    int obs_port = -1;
   };
 
   explicit Database(Options options);
@@ -110,6 +125,9 @@ class Database {
   // finalize sites (inline ack, ack daemon) record their own — exactly one
   // record per committed transaction either way.
   static Histogram* CommitLatencyHistogram();
+
+  // Port the live metrics endpoint bound, or -1 when disabled / failed.
+  int obs_port() const { return obs_server_ == nullptr ? -1 : obs_server_->port(); }
 
   Catalog* catalog() { return catalog_.get(); }
   LockManager* lock_manager() { return lock_.get(); }
@@ -230,6 +248,12 @@ class Database {
   // optional background reporter (Options::stats_interval_ms).
   std::vector<uint64_t> obs_tokens_;
   std::unique_ptr<obs::StatsReporter> reporter_;
+  // Watchdog wiring: one Retain per database (the process-wide thread runs
+  // while any retainer lives), plus a progress probe over the group-commit
+  // horizon. The endpoint serves the registry/heatmap/watchdog verdict.
+  bool watchdog_retained_ = false;
+  uint64_t horizon_probe_token_ = 0;
+  std::unique_ptr<obs::ObsServer> obs_server_;
 };
 
 }  // namespace doradb

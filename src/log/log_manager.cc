@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "log/segment_file.h"
+#include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
 
@@ -120,9 +121,17 @@ Lsn LogManager::DoFlush() {
 }
 
 void LogManager::FlusherLoop() {
+  // Watchdog heartbeat: the nap is idle time; a DoFlush that hangs in
+  // fsync shows up as stalled-in-"flush".
+  obs::ScopedHeartbeat hb("log.flusher.central");
   while (!stop_.load(std::memory_order_acquire)) {
+    hb->SetStage("nap");
+    hb->SetIdle(true);
     NapMicros(options_.flush_interval_us);
+    hb->SetIdle(false);
+    hb->SetStage("flush");
     DoFlush();
+    hb->Beat();
   }
 }
 

@@ -1,0 +1,50 @@
+#include "obs/heartbeat.h"
+
+#include <algorithm>
+
+namespace doradb {
+namespace obs {
+
+Heartbeats::Handle* Heartbeats::Register(std::string name) {
+  std::lock_guard<std::mutex> g(mu_);
+  handles_.emplace_back(new Handle(std::move(name)));
+  return handles_.back().get();
+}
+
+void Heartbeats::Unregister(Handle* h) {
+  std::lock_guard<std::mutex> g(mu_);
+  handles_.erase(
+      std::remove_if(handles_.begin(), handles_.end(),
+                     [h](const std::unique_ptr<Handle>& p) {
+                       return p.get() == h;
+                     }),
+      handles_.end());
+}
+
+std::vector<Heartbeats::Row> Heartbeats::Snapshot() const {
+  std::lock_guard<std::mutex> g(mu_);
+  std::vector<Row> rows;
+  rows.reserve(handles_.size());
+  for (const auto& h : handles_) {
+    rows.push_back(Row{h->name_,
+                       h->stage_.load(std::memory_order_relaxed),
+                       h->idle_.load(std::memory_order_relaxed),
+                       h->last_beat_.load(std::memory_order_relaxed)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  return rows;
+}
+
+size_t Heartbeats::size() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return handles_.size();
+}
+
+Heartbeats& Heartbeats::Default() {
+  static Heartbeats* table = new Heartbeats();  // leaked: process lifetime
+  return *table;
+}
+
+}  // namespace obs
+}  // namespace doradb

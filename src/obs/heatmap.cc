@@ -1,0 +1,211 @@
+#include "obs/heatmap.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/metrics.h"
+#include "util/clock.h"
+
+namespace doradb {
+namespace obs {
+
+namespace {
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[128];
+  va_list ap;
+  va_start(ap, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  out->append(buf);
+}
+
+}  // namespace
+
+LoadHeatmap::LoadHeatmap(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+uint64_t LoadHeatmap::DeltaPercentile(
+    const std::array<uint64_t, Histogram::kNumBuckets>& buckets,
+    uint64_t total, double p) {
+  if (total == 0) return 0;
+  const double target = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+    const uint64_t in_bucket = buckets[i];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= target) {
+      const uint64_t lo = i == 0 ? 0 : (uint64_t{1} << i);
+      const uint64_t hi = (i >= 63) ? UINT64_MAX : (uint64_t{1} << (i + 1));
+      const double frac =
+          (target - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += in_bucket;
+  }
+  return 0;
+}
+
+uint64_t LoadHeatmap::RegisterSource(HeatmapSource fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t token = next_token_++;
+  sources_[token] = std::move(fn);
+  return token;
+}
+
+void LoadHeatmap::UnregisterSource(uint64_t token) {
+  std::lock_guard<std::mutex> g(mu_);
+  sources_.erase(token);
+}
+
+void LoadHeatmap::Sweep() {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t now = Cycles::Now();
+
+  std::vector<ExecLoadRaw> raws;
+  for (const auto& [token, fn] : sources_) {
+    auto part = fn();
+    raws.insert(raws.end(), part.begin(), part.end());
+  }
+
+  HeatmapWindow w;
+  w.seq = next_seq_++;
+  w.wall_ms = WallMs();
+  for (const ExecLoadRaw& raw : raws) {
+    PrevRaw& prev = prev_[raw.executor];
+    ExecutorSample s;
+    s.executor = raw.executor;
+    s.inbox_depth = raw.inbox_depth;
+    if (prev.valid && now > prev.tsc) {
+      const double span_s = Cycles::ToNanos(now - prev.tsc) / 1e9;
+      const double span_cycles = static_cast<double>(now - prev.tsc);
+      if (span_s > 0) {
+        s.drained_per_s =
+            static_cast<double>(raw.actions_executed - prev.actions) / span_s;
+      }
+      const double busy =
+          static_cast<double>(raw.busy_cycles - prev.busy_cycles) /
+          span_cycles;
+      s.busy_frac = std::clamp(busy, 0.0, 1.0);
+      if (raw.queue_wait != nullptr) {
+        std::array<uint64_t, Histogram::kNumBuckets> delta{};
+        uint64_t total = 0;
+        for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+          const uint64_t c = raw.queue_wait->BucketCount(i);
+          delta[i] = c - prev.qwait_buckets[i];
+          total += delta[i];
+          prev.qwait_buckets[i] = c;
+        }
+        s.queue_wait_p99_ns = DeltaPercentile(delta, total, 99.0);
+        prev.qwait_count += total;
+      }
+    } else if (raw.queue_wait != nullptr) {
+      // Prime the diff state on the first sweep for this executor.
+      for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+        prev.qwait_buckets[i] = raw.queue_wait->BucketCount(i);
+      }
+    }
+    prev.actions = raw.actions_executed;
+    prev.busy_cycles = raw.busy_cycles;
+    prev.tsc = now;
+    prev.valid = true;
+    w.rows.push_back(s);
+
+    // Mirror the levels into registry gauges so /metrics and DORADB_STATS
+    // carry the per-executor load signal without parsing heatmap JSON.
+    // GetGauge's name lookup is a mutex, but Sweep runs at watchdog
+    // cadence (~4 Hz), not on the hot path.
+    auto& reg = MetricsRegistry::Default();
+    const std::string prefix = "dora.exec." + std::to_string(s.executor);
+    reg.GetGauge(prefix + ".busy_pct", "%")
+        ->Set(static_cast<int64_t>(s.busy_frac * 100.0 + 0.5));
+    reg.GetGauge(prefix + ".drained_per_s", "actions/s")
+        ->Set(static_cast<int64_t>(s.drained_per_s + 0.5));
+    reg.GetGauge(prefix + ".queue_wait_p99_ns", "ns")
+        ->Set(static_cast<int64_t>(s.queue_wait_p99_ns));
+  }
+  if (now > last_sweep_tsc_ && last_sweep_tsc_ != 0) {
+    w.span_ms = Cycles::ToNanos(now - last_sweep_tsc_) / 1e6;
+  }
+  last_sweep_tsc_ = now;
+
+  std::sort(w.rows.begin(), w.rows.end(),
+            [](const ExecutorSample& a, const ExecutorSample& b) {
+              return a.executor < b.executor;
+            });
+  ring_.push_back(std::move(w));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+void LoadHeatmap::Push(HeatmapWindow w) {
+  std::lock_guard<std::mutex> g(mu_);
+  w.seq = next_seq_++;
+  if (w.wall_ms == 0) w.wall_ms = WallMs();
+  ring_.push_back(std::move(w));
+  while (ring_.size() > capacity_) ring_.pop_front();
+}
+
+std::vector<HeatmapWindow> LoadHeatmap::Windows() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+HeatmapWindow LoadHeatmap::Latest() const {
+  std::lock_guard<std::mutex> g(mu_);
+  if (ring_.empty()) return HeatmapWindow{};
+  return ring_.back();
+}
+
+uint64_t LoadHeatmap::sweeps() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return next_seq_ - 1;
+}
+
+std::string LoadHeatmap::WindowJson(const HeatmapWindow& w) {
+  std::string out = "{";
+  AppendF(&out, "\"seq\":%llu,\"ts_ms\":%lld,\"span_ms\":%.3f,\"executors\":[",
+          static_cast<unsigned long long>(w.seq),
+          static_cast<long long>(w.wall_ms), w.span_ms);
+  bool first = true;
+  for (const ExecutorSample& s : w.rows) {
+    if (!first) out.push_back(',');
+    first = false;
+    AppendF(&out,
+            "{\"exec\":%u,\"depth\":%lld,\"drained_per_s\":%.1f,"
+            "\"qwait_p99_ns\":%llu,\"busy_frac\":%.4f}",
+            s.executor, static_cast<long long>(s.inbox_depth), s.drained_per_s,
+            static_cast<unsigned long long>(s.queue_wait_p99_ns), s.busy_frac);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string LoadHeatmap::ToJson() const {
+  std::vector<HeatmapWindow> windows = Windows();
+  std::string out = "{";
+  AppendF(&out, "\"ts_ms\":%lld,\"windows\":[", static_cast<long long>(WallMs()));
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (i) out.push_back(',');
+    out += WindowJson(windows[i]);
+  }
+  out += "]}";
+  return out;
+}
+
+LoadHeatmap& LoadHeatmap::Default() {
+  static LoadHeatmap* map = new LoadHeatmap();  // leaked: process lifetime
+  return *map;
+}
+
+}  // namespace obs
+}  // namespace doradb

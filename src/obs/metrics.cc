@@ -62,6 +62,7 @@ uint64_t MetricValue::Percentile(double p) const {
 }
 
 void MetricValue::RecomputePercentiles() {
+  has_percentiles = count != 0;
   p50 = Percentile(50);
   p95 = Percentile(95);
   p99 = Percentile(99);
@@ -109,7 +110,9 @@ std::string MetricsSnapshot::ToText() const {
     os << m.name << " (" << MetricTypeName(m.type);
     if (!m.unit.empty()) os << ", " << m.unit;
     os << "): ";
-    if (m.type == MetricType::kHistogram) {
+    if (m.type == MetricType::kHistogram && !m.has_percentiles) {
+      os << "count=" << m.count << " (no samples in window)";
+    } else if (m.type == MetricType::kHistogram) {
       os << "count=" << m.count << " mean=" << static_cast<uint64_t>(m.Mean())
          << " min=" << m.min << " p50=" << m.p50 << " p95=" << m.p95
          << " p99=" << m.p99 << " p999=" << m.p999 << " max=" << m.max;
@@ -123,7 +126,9 @@ std::string MetricsSnapshot::ToText() const {
 
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream os;
-  os << "{\"ts_ms\":" << wall_ms << ",\"metrics\":{";
+  os << "{\"ts_ms\":" << wall_ms;
+  if (!reason.empty()) os << ",\"reason\":\"" << reason << "\"";
+  os << ",\"metrics\":{";
   bool first = true;
   for (const auto& m : metrics) {
     if (!first) os << ",";
@@ -133,9 +138,19 @@ std::string MetricsSnapshot::ToJson() const {
     if (!m.unit.empty()) os << ",\"unit\":\"" << m.unit << "\"";
     if (m.type == MetricType::kHistogram) {
       os << ",\"count\":" << m.count << ",\"sum\":" << m.sum
-         << ",\"min\":" << m.min << ",\"max\":" << m.max
-         << ",\"p50\":" << m.p50 << ",\"p95\":" << m.p95
-         << ",\"p99\":" << m.p99 << ",\"p999\":" << m.p999;
+         << ",\"min\":" << m.min << ",\"max\":" << m.max;
+      const auto pct = [&os, &m](const char* key, uint64_t v) {
+        os << ",\"" << key << "\":";
+        if (m.has_percentiles) {
+          os << v;
+        } else {
+          os << "null";  // zero-sample window: absent, not a fake 0
+        }
+      };
+      pct("p50", m.p50);
+      pct("p95", m.p95);
+      pct("p99", m.p99);
+      pct("p999", m.p999);
     } else {
       os << ",\"value\":" << m.value;
     }
@@ -183,6 +198,14 @@ struct JsonCursor {
     ++i;  // closing quote
     return true;
   }
+  bool Null() {
+    SkipWs();
+    if (i + 4 <= s.size() && s.substr(i, 4) == "null") {
+      i += 4;
+      return true;
+    }
+    return false;
+  }
   bool Integer(int64_t* out) {
     SkipWs();
     const size_t start = i;
@@ -216,6 +239,8 @@ Status MetricsSnapshot::FromJson(std::string_view json, MetricsSnapshot* out) {
     if (!c.String(&key) || !c.Eat(':')) return Malformed("expected key");
     if (key == "ts_ms") {
       if (!c.Integer(&out->wall_ms)) return Malformed("bad ts_ms");
+    } else if (key == "reason") {
+      if (!c.String(&out->reason)) return Malformed("bad reason");
     } else if (key == "metrics") {
       saw_metrics = true;
       if (!c.Eat('{')) return Malformed("expected metrics object");
@@ -248,6 +273,14 @@ Status MetricsSnapshot::FromJson(std::string_view json, MetricsSnapshot* out) {
               m.type = MetricType::kHistogram;
             } else {
               return Malformed("unknown metric type");
+            }
+          } else if (c.Null()) {
+            // Only percentiles of a zero-sample window serialize as null.
+            if (field == "p50" || field == "p95" || field == "p99" ||
+                field == "p999") {
+              m.has_percentiles = false;
+            } else {
+              return Malformed("unexpected null");
             }
           } else {
             int64_t ival = 0;

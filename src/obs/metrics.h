@@ -127,6 +127,10 @@ struct MetricValue {
   uint64_t p95 = 0;
   uint64_t p99 = 0;
   uint64_t p999 = 0;
+  // False when a histogram (typically a Delta window) holds zero samples:
+  // the percentiles above are then meaningless and serialize as JSON
+  // null rather than a fake 0.
+  bool has_percentiles = true;
   std::array<uint64_t, Histogram::kNumBuckets> buckets{};
 
   // Percentile over the snapshot's buckets (histograms only; linear
@@ -141,6 +145,9 @@ struct MetricValue {
 
 struct MetricsSnapshot {
   int64_t wall_ms = 0;  // wall-clock ms at capture (unix epoch)
+  // Why this snapshot was emitted ("interval" / "final" from the
+  // reporter); empty snapshots omit it from JSON.
+  std::string reason;
   std::vector<MetricValue> metrics;  // sorted by name
 
   const MetricValue* Find(std::string_view name) const;
@@ -153,9 +160,10 @@ struct MetricsSnapshot {
 
   // Human-readable table, one metric per line.
   std::string ToText() const;
-  // One JSON object: {"ts_ms":..,"metrics":{"name":{"type":..,...},...}}.
+  // One JSON object: {"ts_ms":..,["reason":..,]"metrics":{...}}.
   // Histograms serialize count/sum/min/max/p50/p95/p99/p999 (summary, not
-  // buckets). Deterministic key order (sorted by name).
+  // buckets); zero-sample windows emit the percentiles as null.
+  // Deterministic key order (sorted by name).
   std::string ToJson() const;
   // Parse ToJson() output back: summary fields round-trip exactly; bucket
   // arrays are not serialized, so a parsed snapshot supports no further

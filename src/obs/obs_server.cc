@@ -1,0 +1,156 @@
+#include "obs/obs_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/watchdog.h"
+
+namespace doradb {
+namespace obs {
+
+namespace {
+
+const char* StatusLine(int code) {
+  switch (code) {
+    case 200:
+      return "HTTP/1.0 200 OK";
+    case 404:
+      return "HTTP/1.0 404 Not Found";
+    case 503:
+      return "HTTP/1.0 503 Service Unavailable";
+    default:
+      return "HTTP/1.0 500 Internal Server Error";
+  }
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+ObsServer::ObsServer(Options options) : options_(options) {}
+
+ObsServer::~ObsServer() { Stop(); }
+
+Status ObsServer::Start() {
+  if (listen_fd_ >= 0) return Status::OK();
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("obs_server: socket: " +
+                           std::string(strerror(errno)));
+  }
+  const int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // diagnostics stay local
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError("obs_server: bind port " +
+                           std::to_string(options_.port) + ": " +
+                           strerror(err));
+  }
+  if (listen(fd, 16) != 0) {
+    const int err = errno;
+    close(fd);
+    return Status::IOError("obs_server: listen: " +
+                           std::string(strerror(err)));
+  }
+  socklen_t len = sizeof(addr);
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void ObsServer::Stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  close(listen_fd_);
+  listen_fd_ = -1;
+  port_ = -1;
+}
+
+std::pair<int, std::string> ObsServer::Handle(const std::string& path) {
+  if (path == "/metrics") {
+    return {200, MetricsRegistry::Default().Snapshot().ToJson()};
+  }
+  if (path == "/heatmap") {
+    return {200, LoadHeatmap::Default().ToJson()};
+  }
+  if (path == "/healthz") {
+    Watchdog::Health h = Watchdog::Default().Check();
+    return {h.ok ? 200 : 503, h.ToJson()};
+  }
+  return {404, "{\"error\":\"not found\"}"};
+}
+
+void ObsServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd pfd;
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int r = poll(&pfd, 1, 100 /*ms*/);
+    if (r <= 0) continue;  // timeout / EINTR: re-check stop
+    const int conn = accept(listen_fd_, nullptr, nullptr);
+    if (conn < 0) continue;
+
+    // One request line is all we need; a 2s receive timeout bounds the
+    // damage a stuck client can do to the (single) serving thread.
+    timeval tv{2, 0};
+    setsockopt(conn, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    char buf[1024];
+    const ssize_t n = read(conn, buf, sizeof(buf) - 1);
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string path;
+      if (strncmp(buf, "GET ", 4) == 0) {
+        const char* start = buf + 4;
+        const char* end = start;
+        while (*end != '\0' && *end != ' ' && *end != '\r' && *end != '\n') {
+          ++end;
+        }
+        path.assign(start, end);
+      }
+      const auto [code, body] = Handle(path);
+      char head[160];
+      snprintf(head, sizeof(head),
+               "%s\r\nContent-Type: application/json\r\n"
+               "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+               StatusLine(code), body.size());
+      WriteAll(conn, std::string(head) + body);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    close(conn);
+  }
+}
+
+}  // namespace obs
+}  // namespace doradb

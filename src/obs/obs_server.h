@@ -1,0 +1,79 @@
+// Live metrics endpoint: a minimal single-threaded HTTP/1.0 server over
+// a plain POSIX socket — the first listening socket in the codebase and
+// a deliberate stepping stone toward the network front end on the
+// roadmap.
+//
+// Routes (GET only):
+//   /metrics   200, registry snapshot JSON — byte-identical schema to a
+//              DORADB_STATS line, so ci/check_metrics_json.py checks it
+//   /heatmap   200, the per-executor load heatmap ring (heatmap.h)
+//   /healthz   200 when the watchdog verdict is healthy, 503 when a
+//              stall is in progress; body is Watchdog::Health JSON
+//
+// Deliberately primitive: binds 127.0.0.1, handles one connection at a
+// time, reads one request line, writes one response, closes. It is a
+// diagnostics port, not the client protocol — curl, a dashboard
+// scraper, or the CI smoke are the intended peers. The accept loop
+// polls with a timeout so Stop() never hangs on a quiet socket.
+//
+// Enabled per Database via Options::obs_port (bench knob
+// DORADB_OBS_PORT): -1 off (default), 0 bind an ephemeral port
+// (port() reports it; the startup line `DORADB_OBS {"port":N}` on
+// stderr lets scripts find it), >0 bind that port.
+
+#ifndef DORADB_OBS_OBS_SERVER_H_
+#define DORADB_OBS_OBS_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "util/status.h"
+
+namespace doradb {
+namespace obs {
+
+class ObsServer {
+ public:
+  struct Options {
+    int port = 0;  // 0 = ephemeral
+  };
+
+  explicit ObsServer(Options options);
+  ObsServer() : ObsServer(Options()) {}
+  ~ObsServer();
+  ObsServer(const ObsServer&) = delete;
+  ObsServer& operator=(const ObsServer&) = delete;
+
+  // Bind + listen + start the serving thread. Named error if the port
+  // cannot be bound.
+  Status Start();
+  void Stop();
+
+  bool running() const { return listen_fd_ >= 0; }
+  int port() const { return port_; }
+  uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  // Route a request path to (http status, body). Exposed so tests can
+  // check routing without a socket.
+  static std::pair<int, std::string> Handle(const std::string& path);
+
+ private:
+  void Loop();
+
+  Options options_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> requests_{0};
+};
+
+}  // namespace obs
+}  // namespace doradb
+
+#endif  // DORADB_OBS_OBS_SERVER_H_

@@ -1,0 +1,124 @@
+#include "obs/profiler.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace doradb {
+namespace obs {
+
+namespace {
+
+struct GapHistos {
+  Histogram* queue_wait = nullptr;
+  Histogram* service = nullptr;
+  Histogram* flush_wait = nullptr;
+  Histogram* ack = nullptr;
+};
+
+std::atomic<uint32_t> g_sample_n{0};
+std::atomic<uint64_t> g_recorded{0};
+
+// Cold state: touched at Enable() and once per *sampled* txn retirement
+// (~1-in-64), so a plain mutex is fine.
+std::mutex g_mu;
+bool g_env_checked = false;
+GapHistos g_global;                // valid while g_sample_n != 0
+std::vector<GapHistos> g_by_exec;  // index = executor global index
+
+GapHistos MakeGapHistos(const std::string& prefix) {
+  auto& reg = MetricsRegistry::Default();
+  GapHistos h;
+  h.queue_wait = reg.GetHistogram(prefix + "queue_wait_ns", "ns");
+  h.service = reg.GetHistogram(prefix + "service_ns", "ns");
+  h.flush_wait = reg.GetHistogram(prefix + "flush_wait_ns", "ns");
+  h.ack = reg.GetHistogram(prefix + "ack_ns", "ns");
+  return h;
+}
+
+// Record `later - earlier` when both endpoints were stamped and in
+// order; a missing endpoint means that txn never reached the stage
+// (abort, non-pipelined path) and the gap is simply not a sample.
+void RecordGap(Histogram* h, const StageStamps& s, TraceStage from,
+               TraceStage to) {
+  const uint64_t a = s.At(from);
+  const uint64_t b = s.At(to);
+  if (a == 0 || b == 0 || b < a) return;
+  h->Record(static_cast<uint64_t>(Cycles::ToNanos(b - a)));
+}
+
+}  // namespace
+
+void StageGapProfiler::Enable(uint32_t sample_n) {
+  std::lock_guard<std::mutex> g(g_mu);
+  g_env_checked = true;  // explicit choice beats the env default
+  if (sample_n != 0 && g_global.queue_wait == nullptr) {
+    g_global = MakeGapHistos("prof.gap.");
+  }
+  g_sample_n.store(sample_n, std::memory_order_relaxed);
+}
+
+bool StageGapProfiler::Enabled() {
+  return g_sample_n.load(std::memory_order_relaxed) != 0;
+}
+
+uint32_t StageGapProfiler::sample_n() {
+  return g_sample_n.load(std::memory_order_relaxed);
+}
+
+void StageGapProfiler::EnsureInitFromEnv() {
+  {
+    std::lock_guard<std::mutex> g(g_mu);
+    if (g_env_checked) return;
+    g_env_checked = true;
+  }
+  const char* env = std::getenv("DORADB_PROF_SAMPLE");
+  uint32_t n = kDefaultSampleN;
+  if (env != nullptr && *env != '\0') {
+    n = static_cast<uint32_t>(std::strtoul(env, nullptr, 10));
+  }
+  // Re-take the lock inside Enable (it re-sets g_env_checked, harmless).
+  Enable(n);
+}
+
+bool StageGapProfiler::Sample(uint64_t txn_id) {
+  const uint32_t n = g_sample_n.load(std::memory_order_relaxed);
+  if (n == 0 || !MetricsEnabled()) return false;
+  return txn_id % n == 0;
+}
+
+void StageGapProfiler::RecordTxn(const StageStamps& s) {
+  if (!Enabled()) return;
+  std::lock_guard<std::mutex> g(g_mu);
+  if (g_global.queue_wait == nullptr) return;
+  RecordGap(g_global.queue_wait, s, TraceStage::kEnqueue, TraceStage::kDrain);
+  RecordGap(g_global.service, s, TraceStage::kDrain, TraceStage::kExecute);
+  RecordGap(g_global.flush_wait, s, TraceStage::kCommitAppend,
+            TraceStage::kDurable);
+  RecordGap(g_global.ack, s, TraceStage::kDurable, TraceStage::kAck);
+
+  const uint32_t exec = s.executor.load(std::memory_order_relaxed);
+  if (exec != StageStamps::kNoExecutor && exec < 4096) {
+    if (g_by_exec.size() <= exec) g_by_exec.resize(exec + 1);
+    GapHistos& eh = g_by_exec[exec];
+    if (eh.queue_wait == nullptr) {
+      eh = MakeGapHistos("dora.exec." + std::to_string(exec) + ".gap.");
+    }
+    RecordGap(eh.queue_wait, s, TraceStage::kEnqueue, TraceStage::kDrain);
+    RecordGap(eh.service, s, TraceStage::kDrain, TraceStage::kExecute);
+    RecordGap(eh.flush_wait, s, TraceStage::kCommitAppend,
+              TraceStage::kDurable);
+    RecordGap(eh.ack, s, TraceStage::kDurable, TraceStage::kAck);
+  }
+  g_recorded.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t StageGapProfiler::recorded() {
+  return g_recorded.load(std::memory_order_relaxed);
+}
+
+}  // namespace obs
+}  // namespace doradb

@@ -1,0 +1,114 @@
+// Stage-gap profiler: continuous aggregation of the CommitTracer's
+// seven-stage commit path into always-on registry histograms.
+//
+// The tracer (trace.h) answers "what happened to txn 4217" with a one-off
+// per-txn dump; the profiler answers "where do transactions wait, right
+// now, continuously" by folding the stage-to-stage gaps of a sampled
+// subset of transactions into the metrics registry:
+//
+//   prof.gap.queue_wait_ns   enqueue → drain    (inbox queueing delay)
+//   prof.gap.service_ns      drain → execute    (admission + run)
+//   prof.gap.flush_wait_ns   commit-append → durable (group-commit wait)
+//   prof.gap.ack_ns          durable → ack      (completion delivery)
+//
+// plus the same four gaps keyed per draining executor
+// (`dora.exec.<g>.gap.*`), which is the per-executor queue-delay signal
+// the adaptive-routing roadmap item consumes.
+//
+// Cost model: instead of a shared hash table keyed by txn id, each
+// DoraTxn context embeds a StageStamps card. Arming is decided once per
+// transaction at dispatch (1-in-N by txn id, `DORADB_PROF_SAMPLE`,
+// default 64); unarmed transactions pay one branch per stamp site. Armed
+// transactions stamp raw tsc values along the pipeline and fold them
+// into the histograms exactly once, at completion — so the steady-state
+// hot-path cost stays inside the fig_obs_overhead ≤2% bar.
+
+#ifndef DORADB_OBS_PROFILER_H_
+#define DORADB_OBS_PROFILER_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace doradb {
+namespace obs {
+
+// Per-transaction stage timestamp card, embedded in dora::DoraTxn and
+// recycled with it. Stamps are first-wins: a multi-action transaction
+// profiles its first action through enqueue/drain/execute, which is the
+// leading edge of the pipeline. Slots are relaxed atomics because
+// different executors may race to stamp the same stage for sibling
+// actions (first CAS wins; either contender's tsc is an equally valid
+// "first time this stage was reached").
+struct StageStamps {
+  static constexpr uint32_t kNoExecutor = UINT32_MAX;
+
+  std::array<std::atomic<uint64_t>, kNumTraceStages> tsc;
+  std::atomic<uint32_t> executor{kNoExecutor};
+  // Written by the dispatching client before any action is pushed, read
+  // by executors after a drain — ordered by the inbox handoff.
+  bool armed = false;
+
+  StageStamps() { Reset(); }
+  void Reset() {
+    for (auto& t : tsc) t.store(0, std::memory_order_relaxed);
+    executor.store(kNoExecutor, std::memory_order_relaxed);
+    armed = false;
+  }
+  void Stamp(TraceStage s) {
+    auto& slot = tsc[static_cast<size_t>(s)];
+    uint64_t expected = 0;
+    slot.compare_exchange_strong(expected, Cycles::Now(),
+                                 std::memory_order_relaxed,
+                                 std::memory_order_relaxed);
+  }
+  // Record which executor drained the (first) action.
+  void SetExecutor(uint32_t global_index) {
+    uint32_t expected = kNoExecutor;
+    executor.compare_exchange_strong(expected, global_index,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed);
+  }
+  uint64_t At(TraceStage s) const {
+    return tsc[static_cast<size_t>(s)].load(std::memory_order_relaxed);
+  }
+};
+
+class StageGapProfiler {
+ public:
+  static constexpr uint32_t kDefaultSampleN = 64;
+
+  // Enable with 1-in-N sampling by txn id (n == 0 disables). Registers
+  // the global gap histograms eagerly so they appear in snapshots before
+  // the first sampled transaction retires.
+  static void Enable(uint32_t sample_n);
+  static void Disable() { Enable(0); }
+  static bool Enabled();
+  static uint32_t sample_n();
+
+  // One-time lazy init from `DORADB_PROF_SAMPLE` (absent → default 64,
+  // "0" → off). Called by DoraEngine::Start; an explicit Enable()
+  // beforehand wins. Idempotent.
+  static void EnsureInitFromEnv();
+
+  // Arming gate, evaluated once per transaction at dispatch: profiler
+  // on, metrics gate on, and this txn id selected by the sampler.
+  static bool Sample(uint64_t txn_id);
+
+  // Fold one retired transaction's stamps into the gap histograms. A gap
+  // whose endpoints are not both stamped (e.g. an aborted transaction
+  // never reaching commit-append) is skipped, not recorded as 0. Called
+  // at most once per armed transaction, off the per-action path.
+  static void RecordTxn(const StageStamps& s);
+
+  // Total transactions folded in (tests).
+  static uint64_t recorded();
+};
+
+}  // namespace obs
+}  // namespace doradb
+
+#endif  // DORADB_OBS_PROFILER_H_

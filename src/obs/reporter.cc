@@ -3,6 +3,7 @@
 #include <chrono>
 #include <string>
 
+#include "obs/heatmap.h"
 #include "obs/metrics.h"
 
 namespace doradb {
@@ -35,13 +36,21 @@ void StatsReporter::Stop() {
     std::lock_guard<std::mutex> g(mu_);
     running_ = false;
   }
-  // Final snapshot so short-lived processes still leave one line behind.
-  EmitLine();
+  // Final snapshot so short-lived processes (shorter than one interval)
+  // still leave one line behind; tagged so consumers can tell it apart.
+  EmitLine("final");
 }
 
-void StatsReporter::EmitLine() {
-  const std::string line = registry_->Snapshot().ToJson();
-  fprintf(out_, "DORADB_STATS %s\n", line.c_str());
+void StatsReporter::EmitLine(const char* reason) {
+  MetricsSnapshot snap = registry_->Snapshot();
+  snap.reason = reason;
+  fprintf(out_, "DORADB_STATS %s\n", snap.ToJson().c_str());
+  // Piggyback the latest heatmap window (if any engine is sweeping one)
+  // so interval logs carry the per-executor load signal too.
+  const HeatmapWindow w = LoadHeatmap::Default().Latest();
+  if (!w.rows.empty()) {
+    fprintf(out_, "DORADB_HEATMAP %s\n", LoadHeatmap::WindowJson(w).c_str());
+  }
   fflush(out_);
   lines_.fetch_add(1, std::memory_order_relaxed);
 }
@@ -54,7 +63,7 @@ void StatsReporter::Loop() {
       break;
     }
     lk.unlock();
-    EmitLine();
+    EmitLine("interval");
     lk.lock();
   }
 }

@@ -35,8 +35,9 @@ class StatsReporter {
   StatsReporter& operator=(const StatsReporter&) = delete;
 
   void Start();
-  // Emits one final snapshot line (if any line was ever emitted) and joins
-  // the thread. Idempotent.
+  // Joins the thread, then emits one final snapshot line (tagged
+  // "reason":"final") so runs shorter than one interval still leave a
+  // sample behind. Idempotent.
   void Stop();
 
   uint64_t lines_emitted() const {
@@ -45,7 +46,9 @@ class StatsReporter {
 
  private:
   void Loop();
-  void EmitLine();
+  // `reason` lands in the line's "reason" field: "interval" for periodic
+  // lines, "final" for the Stop() flush.
+  void EmitLine(const char* reason);
 
   MetricsRegistry* const registry_;
   const uint64_t interval_ms_;

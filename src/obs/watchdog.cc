@@ -1,0 +1,330 @@
+#include "obs/watchdog.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/heartbeat.h"
+#include "obs/heatmap.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/clock.h"
+
+namespace doradb {
+namespace obs {
+
+namespace {
+
+int64_t WallMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double AgeMs(uint64_t now_tsc, uint64_t then_tsc) {
+  if (then_tsc == 0 || now_tsc <= then_tsc) return 0.0;
+  return Cycles::ToNanos(now_tsc - then_tsc) / 1e6;
+}
+
+// Fatal-signal flight recorder (DORADB_BLACKBOX_SIGNALS=1): the watchdog
+// tick pre-renders the thread table into this buffer and pre-opens the
+// crash file; the handler only write(2)s — async-signal-safe.
+constexpr size_t kCrashBufSize = 16384;
+char g_crash_buf[kCrashBufSize];
+std::atomic<size_t> g_crash_len{0};
+std::atomic<int> g_crash_fd{-1};
+
+void CrashHandler(int sig) {
+  const int fd = g_crash_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) {
+    char head[64];
+    int n = snprintf(head, sizeof(head), "DORADB_BLACKBOX crash signal=%d\n",
+                     sig);
+    if (n > 0) {
+      ssize_t ignored = write(fd, head, static_cast<size_t>(n));
+      ignored = write(fd, g_crash_buf,
+                      g_crash_len.load(std::memory_order_relaxed));
+      (void)ignored;
+    }
+  }
+  // SA_RESETHAND restored the default disposition; re-raise so the
+  // process still dies with the original signal.
+  raise(sig);
+}
+
+}  // namespace
+
+std::string Watchdog::Health::ToJson() const {
+  std::string out = "{\"ok\":";
+  out += ok ? "true" : "false";
+  char buf[64];
+  snprintf(buf, sizeof(buf), ",\"threads\":%zu,\"dumps\":%llu", threads,
+           static_cast<unsigned long long>(dumps));
+  out += buf;
+  out += ",\"complaints\":[";
+  for (size_t i = 0; i < complaints.size(); ++i) {
+    if (i) out.push_back(',');
+    out.push_back('"');
+    for (char c : complaints[i]) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  out += "]}";
+  return out;
+}
+
+void Watchdog::Retain(const Options& options) {
+  std::lock_guard<std::mutex> g(mu_);
+  options_ = options;  // last retainer's options win
+  if (++retainers_ == 1) {
+    stop_.store(false, std::memory_order_relaxed);
+    MaybeInstallSignalHandlers();
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+void Watchdog::Release() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (retainers_ == 0) return;
+    if (--retainers_ > 0) return;
+    stop_.store(true, std::memory_order_release);
+    to_join = std::move(thread_);
+  }
+  if (to_join.joinable()) to_join.join();
+}
+
+bool Watchdog::running() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return retainers_ > 0;
+}
+
+uint64_t Watchdog::RegisterProgressProbe(std::string name,
+                                         std::function<bool()> outstanding,
+                                         std::function<uint64_t()> position) {
+  std::lock_guard<std::mutex> g(mu_);
+  const uint64_t token = next_probe_token_++;
+  Probe p;
+  p.name = std::move(name);
+  p.outstanding = std::move(outstanding);
+  p.position = std::move(position);
+  probes_[token] = std::move(p);
+  return token;
+}
+
+void Watchdog::UnregisterProbe(uint64_t token) {
+  std::lock_guard<std::mutex> g(mu_);
+  probes_.erase(token);
+}
+
+Watchdog::Health Watchdog::Check() {
+  Health h;
+  const uint64_t now = Cycles::Now();
+  uint64_t stall_ms;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stall_ms = options_.stall_ms;
+    for (auto& [token, p] : probes_) {
+      const uint64_t pos = p.position();
+      if (!p.primed || pos != p.last_position) {
+        p.last_position = pos;
+        p.last_change_tsc = now;
+        p.primed = true;
+        continue;
+      }
+      if (p.outstanding() &&
+          AgeMs(now, p.last_change_tsc) > static_cast<double>(stall_ms)) {
+        char buf[256];
+        snprintf(buf, sizeof(buf),
+                 "probe %s stuck at %llu with work outstanding for %.0f ms",
+                 p.name.c_str(), static_cast<unsigned long long>(pos),
+                 AgeMs(now, p.last_change_tsc));
+        h.complaints.push_back(buf);
+      }
+    }
+  }
+  const auto rows = Heartbeats::Default().Snapshot();
+  h.threads = rows.size();
+  for (const auto& r : rows) {
+    if (r.idle) continue;
+    const double age = AgeMs(now, r.last_beat_tsc);
+    if (age > static_cast<double>(stall_ms)) {
+      char buf[256];
+      snprintf(buf, sizeof(buf), "thread %s stalled in stage %s for %.0f ms",
+               r.name.c_str(), r.stage, age);
+      h.complaints.push_back(buf);
+    }
+  }
+  h.ok = h.complaints.empty();
+  h.dumps = dumps_.load(std::memory_order_relaxed);
+  return h;
+}
+
+std::string Watchdog::RenderReport(const std::string& reason) {
+  Health h = Check();
+  const uint64_t now = Cycles::Now();
+  std::string out;
+  out.reserve(1 << 16);
+  out += "DORADB_BLACKBOX v1\n";
+  out += "reason: " + reason + "\n";
+  char buf[320];
+  snprintf(buf, sizeof(buf), "wall_ms: %lld\n",
+           static_cast<long long>(WallMs()));
+  out += buf;
+  out += "== threads ==\n";
+  for (const auto& r : Heartbeats::Default().Snapshot()) {
+    snprintf(buf, sizeof(buf), "%-28s stage=%-14s idle=%d age_ms=%.1f\n",
+             r.name.c_str(), r.stage, r.idle ? 1 : 0,
+             AgeMs(now, r.last_beat_tsc));
+    out += buf;
+  }
+  out += "== health ==\n";
+  out += h.ToJson();
+  out += "\n== heatmap ==\n";
+  out += LoadHeatmap::Default().ToJson();
+  out += "\n== metrics ==\n";
+  out += MetricsRegistry::Default().Snapshot().ToJson();
+  out += "\n== trace ==\n";
+  out += CommitTracer::DumpText();
+  out += "== end ==\n";
+  return out;
+}
+
+std::string Watchdog::WriteBlackbox(const std::string& reason) {
+  std::string dir;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (options_.dump_dir.empty()) return "";
+    dir = options_.dump_dir + "/blackbox";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return "";
+  const uint64_t n = dumps_.fetch_add(1, std::memory_order_relaxed) + 1;
+  char name[96];
+  snprintf(name, sizeof(name), "/blackbox-%lld-%llu.txt",
+           static_cast<long long>(WallMs()),
+           static_cast<unsigned long long>(n));
+  const std::string path = dir + name;
+  std::ofstream f(path, std::ios::trunc);
+  if (!f) return "";
+  f << RenderReport(reason);
+  f.close();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    last_dump_tsc_ = Cycles::Now();
+  }
+  return path;
+}
+
+void Watchdog::Loop() {
+  ScopedHeartbeat hb("obs.watchdog");
+  for (;;) {
+    uint64_t interval_ms;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      interval_ms = options_.interval_ms;
+    }
+    // Nap in short slices so Release() never waits a full interval; the
+    // nap is marked idle so a long interval never looks like a stall of
+    // the watchdog itself.
+    hb->SetIdle(true);
+    uint64_t slept = 0;
+    while (slept < interval_ms && !stop_.load(std::memory_order_acquire)) {
+      const uint64_t slice = std::min<uint64_t>(10, interval_ms - slept);
+      NapMicros(slice * 1000);
+      slept += slice;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    hb->SetIdle(false);
+    hb->SetStage("sweep");
+    LoadHeatmap::Default().Sweep();
+    hb->SetStage("check");
+    Health h = Check();
+    ticks_.fetch_add(1, std::memory_order_relaxed);
+
+    bool dump = false;
+    {
+      std::lock_guard<std::mutex> g(mu_);
+      if (!h.ok && !options_.dump_dir.empty()) {
+        const double gap = AgeMs(Cycles::Now(), last_dump_tsc_);
+        if (was_healthy_ || last_dump_tsc_ == 0 ||
+            gap > static_cast<double>(options_.dump_min_gap_ms)) {
+          dump = true;
+        }
+      }
+      was_healthy_ = h.ok;
+    }
+    if (dump) {
+      hb->SetStage("dump");
+      WriteBlackbox(h.complaints.empty() ? "stall" : h.complaints.front());
+    }
+
+    // Keep the fatal-signal buffer fresh: thread table + verdict only
+    // (the handler must not allocate or lock).
+    if (g_crash_fd.load(std::memory_order_relaxed) >= 0) {
+      std::string snap = "== threads ==\n";
+      const uint64_t now = Cycles::Now();
+      for (const auto& r : Heartbeats::Default().Snapshot()) {
+        char buf[320];
+        snprintf(buf, sizeof(buf), "%-28s stage=%-14s idle=%d age_ms=%.1f\n",
+                 r.name.c_str(), r.stage, r.idle ? 1 : 0,
+                 AgeMs(now, r.last_beat_tsc));
+        snap += buf;
+      }
+      snap += h.ToJson();
+      snap.push_back('\n');
+      const size_t len = std::min(snap.size(), kCrashBufSize);
+      memcpy(g_crash_buf, snap.data(), len);
+      g_crash_len.store(len, std::memory_order_relaxed);
+    }
+    hb->SetStage("nap");
+  }
+}
+
+void Watchdog::MaybeInstallSignalHandlers() {
+  // Called under mu_ from the first Retain. Off by default: installing
+  // process-wide handlers from a library surprises embedders and test
+  // harnesses, so it is an explicit opt-in.
+  static bool installed = false;
+  if (installed) return;
+  const char* env = std::getenv("DORADB_BLACKBOX_SIGNALS");
+  if (env == nullptr || env[0] != '1') return;
+  installed = true;
+  if (!options_.dump_dir.empty()) {
+    const std::string dir = options_.dump_dir + "/blackbox";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (!ec) {
+      const int fd = open((dir + "/crash.txt").c_str(),
+                          O_CREAT | O_WRONLY | O_TRUNC, 0644);
+      if (fd >= 0) g_crash_fd.store(fd, std::memory_order_relaxed);
+    }
+  }
+  struct sigaction sa;
+  memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = CrashHandler;
+  sa.sa_flags = SA_RESETHAND;
+  sigaction(SIGSEGV, &sa, nullptr);
+  sigaction(SIGABRT, &sa, nullptr);
+  sigaction(SIGBUS, &sa, nullptr);
+}
+
+Watchdog& Watchdog::Default() {
+  static Watchdog* dog = new Watchdog();  // leaked: process lifetime
+  return *dog;
+}
+
+}  // namespace obs
+}  // namespace doradb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "log/segment_file.h"
+#include "obs/heartbeat.h"
 #include "util/clock.h"
 #include "util/thread_pool.h"
 
@@ -235,12 +236,19 @@ uint64_t PartitionedLogManager::reclaimed_bytes() const {
 }
 
 void PartitionedLogManager::FlusherLoop(uint32_t index, uint32_t stride) {
+  // Watchdog heartbeat: one per flusher thread, named by its stride slot.
+  obs::ScopedHeartbeat hb("log.flusher.plog." + std::to_string(index));
   while (!stop_.load(std::memory_order_acquire)) {
+    hb->SetStage("nap");
+    hb->SetIdle(true);
     NapMicros(options_.log.flush_interval_us);
+    hb->SetIdle(false);
+    hb->SetStage("flush");
     for (size_t p = index; p < partitions_.size(); p += stride) {
       // Periodic flush: idle partitions may defer the watermark-only
       // header fdatasync (see LogPartition::Flush).
       partitions_[p]->Flush(/*force_watermark=*/false);
+      hb->Beat();
     }
   }
 }

@@ -16,8 +16,10 @@
 
 #include "dora/dora_engine.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/reporter.h"
 #include "obs/trace.h"
+#include "util/clock.h"
 #include "util/histogram.h"
 
 namespace doradb {
@@ -322,10 +324,17 @@ TEST(ReporterTest, EmitsParsableStatsLines) {
   std::rewind(out);
   char line[1 << 16];
   size_t lines = 0;
+  std::string last_reason;
   while (std::fgets(line, sizeof(line), out) != nullptr) {
     std::string s(line);
-    ASSERT_EQ(s.rfind("DORADB_STATS ", 0), 0u) << s;
     if (!s.empty() && s.back() == '\n') s.pop_back();
+    // Interval logs may interleave DORADB_HEATMAP lines (piggybacked by
+    // the reporter when a heatmap is live); only the STATS lines are
+    // schema-checked here.
+    if (s.rfind("DORADB_STATS ", 0) != 0) {
+      ASSERT_EQ(s.rfind("DORADB_HEATMAP ", 0), 0u) << s;
+      continue;
+    }
     MetricsSnapshot snap;
     ASSERT_TRUE(
         MetricsSnapshot::FromJson(s.substr(strlen("DORADB_STATS ")), &snap)
@@ -333,10 +342,15 @@ TEST(ReporterTest, EmitsParsableStatsLines) {
         << s;
     ASSERT_NE(snap.Find("r.count"), nullptr);
     EXPECT_EQ(snap.Find("r.count")->value, 3);
+    EXPECT_TRUE(snap.reason == "interval" || snap.reason == "final")
+        << snap.reason;
+    last_reason = snap.reason;
     ++lines;
   }
   std::fclose(out);
   EXPECT_GE(lines, 1u);
+  // Stop() always flushes one last line so sub-interval runs report too.
+  EXPECT_EQ(last_reason, "final");
 }
 
 TEST(ReporterTest, ZeroIntervalStaysIdle) {
@@ -345,6 +359,146 @@ TEST(ReporterTest, ZeroIntervalStaysIdle) {
   reporter.Start();
   reporter.Stop();
   EXPECT_EQ(reporter.lines_emitted(), 0u);
+}
+
+TEST(ReporterTest, ShortRunStillEmitsFinalLine) {
+  // A run far shorter than one interval must still leave one snapshot
+  // behind: Stop() flushes a "final" line.
+  MetricsRegistry reg;
+  reg.GetCounter("short.count")->Add(7);
+  FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  {
+    StatsReporter reporter(&reg, /*interval_ms=*/60000, out);
+    reporter.Start();
+    reporter.Stop();
+    EXPECT_EQ(reporter.lines_emitted(), 1u);
+  }
+  std::rewind(out);
+  char line[1 << 16];
+  ASSERT_NE(std::fgets(line, sizeof(line), out), nullptr);
+  std::string s(line);
+  ASSERT_EQ(s.rfind("DORADB_STATS ", 0), 0u) << s;
+  if (!s.empty() && s.back() == '\n') s.pop_back();
+  MetricsSnapshot snap;
+  ASSERT_TRUE(
+      MetricsSnapshot::FromJson(s.substr(strlen("DORADB_STATS ")), &snap)
+          .ok())
+      << s;
+  EXPECT_EQ(snap.reason, "final");
+  ASSERT_NE(snap.Find("short.count"), nullptr);
+  EXPECT_EQ(snap.Find("short.count")->value, 7);
+  std::fclose(out);
+}
+
+// -------------------------------------------------- windowed percentiles
+
+TEST(JsonTest, ZeroSampleWindowSerializesNullPercentiles) {
+  // A Delta() window in which a histogram gained no samples must not
+  // report fabricated zero percentiles: they serialize as null and
+  // round-trip as "absent".
+  MetricsRegistry reg;
+  reg.GetHistogram("w.lat_ns", "ns")->Record(4096);
+  const MetricsSnapshot s1 = reg.Snapshot();
+  const MetricsSnapshot s2 = reg.Snapshot();  // no new samples in between
+  const MetricsSnapshot d = s2.Delta(s1);
+  const MetricValue* m = d.Find("w.lat_ns");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->count, 0u);
+  EXPECT_FALSE(m->has_percentiles);
+
+  const std::string json = d.ToJson();
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p999\":null"), std::string::npos) << json;
+
+  MetricsSnapshot back;
+  ASSERT_TRUE(MetricsSnapshot::FromJson(json, &back).ok()) << json;
+  const MetricValue* bm = back.Find("w.lat_ns");
+  ASSERT_NE(bm, nullptr);
+  EXPECT_FALSE(bm->has_percentiles);
+
+  // The lifetime snapshot (count > 0) keeps numeric percentiles.
+  const MetricValue* lm = s2.Find("w.lat_ns");
+  ASSERT_NE(lm, nullptr);
+  EXPECT_TRUE(lm->has_percentiles);
+  EXPECT_GE(lm->p50, 4096u);
+}
+
+// --------------------------------------------------------------- profiler
+
+// Fill a synthetic stamp card (the card embeds atomics, so it can't be
+// returned by value): enqueue→drain = queue_ns, drain→execute = svc_ns.
+void FillStamps(StageStamps* s, uint64_t queue_ns, uint64_t svc_ns) {
+  s->Reset();
+  const double per_ns = Cycles::PerNanosecond();
+  const uint64_t base = Cycles::Now();
+  s->tsc[static_cast<size_t>(TraceStage::kEnqueue)].store(
+      base, std::memory_order_relaxed);
+  s->tsc[static_cast<size_t>(TraceStage::kDrain)].store(
+      base + static_cast<uint64_t>(queue_ns * per_ns),
+      std::memory_order_relaxed);
+  s->tsc[static_cast<size_t>(TraceStage::kExecute)].store(
+      base + static_cast<uint64_t>((queue_ns + svc_ns) * per_ns),
+      std::memory_order_relaxed);
+  s->armed = true;
+}
+
+TEST(ProfilerTest, SampledHistogramsTrackFullRate) {
+  // 1-in-8 sampling must land within tolerance of full-rate profiling on
+  // a deterministic workload: gap(id) cycles through 7 values while the
+  // sampler keeps every 8th id, so the subsample sees every residue.
+  auto& reg = MetricsRegistry::Default();
+  Histogram* qh = reg.GetHistogram("prof.gap.queue_wait_ns", "ns");
+
+  auto run = [&](uint32_t sample_n, uint64_t ids) -> double {
+    StageGapProfiler::Enable(sample_n);
+    const uint64_t count0 = qh->Count();
+    const uint64_t sum0 = qh->Sum();
+    StageStamps s;
+    for (uint64_t id = 0; id < ids; ++id) {
+      if (!StageGapProfiler::Sample(id)) continue;
+      const uint64_t queue_ns = 1000 + (id % 7) * 300;
+      FillStamps(&s, queue_ns, 500);
+      StageGapProfiler::RecordTxn(s);
+    }
+    const uint64_t dc = qh->Count() - count0;
+    EXPECT_GT(dc, 0u);
+    return dc == 0 ? 0.0
+                   : static_cast<double>(qh->Sum() - sum0) /
+                         static_cast<double>(dc);
+  };
+
+  const double mean_full = run(1, 5600);
+  const double mean_sampled = run(8, 5600);
+  StageGapProfiler::Disable();
+  ASSERT_GT(mean_full, 0.0);
+  EXPECT_NEAR(mean_sampled / mean_full, 1.0, 0.25)
+      << "full=" << mean_full << " sampled=" << mean_sampled;
+}
+
+TEST(ProfilerTest, MissingEndpointsAreSkippedNotZero) {
+  auto& reg = MetricsRegistry::Default();
+  Histogram* fh = reg.GetHistogram("prof.gap.flush_wait_ns", "ns");
+  Histogram* qh = reg.GetHistogram("prof.gap.queue_wait_ns", "ns");
+  StageGapProfiler::Enable(1);
+  const uint64_t f0 = fh->Count();
+  const uint64_t q0 = qh->Count();
+  // Only enqueue/drain/execute stamped (an aborted txn that never reached
+  // commit-append): the flush gap must gain no sample at all.
+  StageStamps s;
+  FillStamps(&s, 2000, 700);
+  StageGapProfiler::RecordTxn(s);
+  StageGapProfiler::Disable();
+  EXPECT_EQ(fh->Count(), f0);
+  EXPECT_EQ(qh->Count(), q0 + 1);
+}
+
+TEST(ProfilerTest, DisabledSamplerSelectsNothing) {
+  StageGapProfiler::Disable();
+  EXPECT_FALSE(StageGapProfiler::Enabled());
+  for (uint64_t id = 0; id < 100; ++id) {
+    EXPECT_FALSE(StageGapProfiler::Sample(id));
+  }
 }
 
 }  // namespace
