@@ -29,6 +29,7 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
       // the worst executor's windowed queue-wait percentiles land on the
       // DORA row, making load imbalance visible per ladder step.
       SkewProbe skew(engine);
+      BatchProbe batch(engine);
       const BenchResult r =
           RunBench(workload, MakeConfig(kind, engine, clients, txn_type));
       if (kind == EngineKind::kDora) {
@@ -37,7 +38,15 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
       tps[i++] = r.throughput_tps;
       load = r.offered_load_pct;
       JsonRow row = ResultRow(label, EngineName(kind), clients, r);
-      if (kind == EngineKind::kDora) skew.Fold(&row);
+      if (kind == EngineKind::kDora) {
+        skew.Fold(&row);
+        // Epoch-batching telemetry for this ladder step: whether batching
+        // was armed (DORADB_EPOCH_BATCH), the windowed median group size,
+        // and the wakeup amortization it's meant to improve.
+        row.Int("batch", engine->epoch_batch_min() != 0 ? 1 : 0)
+            .Int("batch_group_p50", batch.GroupP50())
+            .Num("wakeups_per_action", delta.wakeups_per_action());
+      }
       BenchJson::Default().Add(row);
     }
     std::printf("%-10.0f %14.0f %14.0f\n", load, tps[0], tps[1]);

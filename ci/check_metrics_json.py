@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Schema-check the live stats reporter's output.
 
-Usage: check_metrics_json.py <logfile> [logfile...]
+Usage: check_metrics_json.py [--require-batching] <logfile> [logfile...]
 
 Scans each log for "DORADB_STATS {json}" lines (the StatsReporter's
 format, normally on stderr) and fails if:
@@ -26,9 +26,18 @@ Also validates:
   * "BENCH_JSON {json}" lines (bench result lines, normally on stdout)
     as well-formed JSON with a "bench" name and a "rows" array,
 so redirected smoke logs get every machine format checked.
+
+With --require-batching (for smokes run under DORADB_EPOCH_BATCH), the
+epoch-batched execution path must also have left evidence:
+  * some "dora.exec.<n>.batch.group_size" histogram with count > 0
+    (at least one executor formed key-sorted groups);
+  * "log.bulk_reservations" counter > 0 (epoch closes took the one-
+    reservation-per-group commit append);
+  * "btree.descents_saved" counter present (leaf-cursor probes armed).
 """
 
 import json
+import re
 import sys
 
 STATS_PREFIX = "DORADB_STATS "
@@ -41,6 +50,7 @@ HEATMAP_ROW_FIELDS = ("exec", "depth", "drained_per_s", "qwait_p99_ns",
                       "busy_frac")
 VALID_REASONS = {"interval", "final"}
 REQUIRED_NAMESPACES = ("dora.", "log.", "txn.", "ckpt.", "prof.")
+BATCH_GROUP_RE = re.compile(r"^dora\.exec\.\d+\.batch\.group_size$")
 
 
 def check_histogram(where, name, m, errors):
@@ -63,7 +73,7 @@ def check_histogram(where, name, m, errors):
             return
 
 
-def check_stats_payload(where, payload, errors, seen_names):
+def check_stats_payload(where, payload, errors, seen_names, seen_values):
     try:
         obj = json.loads(payload)
     except json.JSONDecodeError as e:
@@ -92,6 +102,12 @@ def check_stats_payload(where, payload, errors, seen_names):
         else:
             check_histogram(where, name, m, errors)
         seen_names.add(name)
+        # High-water mark per metric: counters/gauges by value, histograms
+        # by sample count (what the --require-batching evidence checks use).
+        peak = m.get("value") if mtype in ("counter", "gauge") \
+            else m.get("count")
+        if isinstance(peak, int):
+            seen_values[name] = max(seen_values.get(name, 0), peak)
     return reason
 
 
@@ -126,7 +142,11 @@ def check_heatmap_payload(where, payload, errors):
                               f"outside [0,1]")
 
 
-def check_bench_payload(where, payload, errors):
+BATCH_AB_FIELDS = ("dora_batch_peak_tps", "batch_speedup", "batch_group_p50",
+                   "batch_wakeups_per_action", "nobatch_wakeups_per_action")
+
+
+def check_bench_payload(where, payload, errors, require_batching):
     try:
         obj = json.loads(payload)
     except json.JSONDecodeError as e:
@@ -136,19 +156,34 @@ def check_bench_payload(where, payload, errors):
         errors.append(f"{where}: BENCH_JSON lacks string 'bench'")
     if not isinstance(obj.get("rows"), list):
         errors.append(f"{where}: BENCH_JSON lacks 'rows' array")
+        return
+    # The batching smoke runs fig8's interleaved batch-off/batch-on A/B;
+    # every row must carry the A/B fields with numeric values.
+    if require_batching and obj.get("bench") == "fig8_peak_throughput":
+        for r, row in enumerate(obj["rows"]):
+            if not isinstance(row, dict):
+                continue
+            for field in BATCH_AB_FIELDS:
+                if not isinstance(row.get(field), (int, float)):
+                    errors.append(f"{where}: fig8 row {r} lacks numeric "
+                                  f"{field!r} (batching A/B fields missing)")
 
 
 def main(argv):
-    if len(argv) < 2:
+    args = argv[1:]
+    require_batching = "--require-batching" in args
+    args = [a for a in args if a != "--require-batching"]
+    if not args:
         print(__doc__)
         return 2
     errors = []
     seen_names = set()
+    seen_values = {}
     seen_reasons = set()
     stats_lines = 0
     heatmap_lines = 0
     bench_lines = 0
-    for path in argv[1:]:
+    for path in args:
         with open(path, "r", errors="replace") as f:
             for i, line in enumerate(f, 1):
                 line = line.strip()
@@ -156,7 +191,8 @@ def main(argv):
                 if line.startswith(STATS_PREFIX):
                     stats_lines += 1
                     reason = check_stats_payload(
-                        where, line[len(STATS_PREFIX):], errors, seen_names)
+                        where, line[len(STATS_PREFIX):], errors, seen_names,
+                        seen_values)
                     if reason is not None:
                         seen_reasons.add(reason)
                 elif line.startswith(HEATMAP_PREFIX):
@@ -166,7 +202,7 @@ def main(argv):
                 elif line.startswith(BENCH_PREFIX):
                     bench_lines += 1
                     check_bench_payload(where, line[len(BENCH_PREFIX):],
-                                        errors)
+                                        errors, require_batching)
     if stats_lines == 0:
         errors.append("no DORADB_STATS lines found (reporter never fired?)")
     else:
@@ -178,6 +214,19 @@ def main(argv):
         if seen_reasons and "final" not in seen_reasons:
             errors.append("reporter lines carry reasons but no 'final' line "
                           "(Stop() flush missing?)")
+    if require_batching:
+        if not any(BATCH_GROUP_RE.match(n) and seen_values.get(n, 0) > 0
+                   for n in seen_names):
+            errors.append("--require-batching: no dora.exec.<n>.batch."
+                          "group_size histogram ever reported samples "
+                          "(epoch batching never formed a group?)")
+        if seen_values.get("log.bulk_reservations", 0) <= 0:
+            errors.append("--require-batching: log.bulk_reservations never "
+                          "went positive (epoch closes not taking the bulk "
+                          "commit append?)")
+        if "btree.descents_saved" not in seen_names:
+            errors.append("--require-batching: btree.descents_saved counter "
+                          "never reported (leaf-cursor probes unarmed?)")
     for e in errors:
         print(f"check_metrics_json: {e}", file=sys.stderr)
     print(f"check_metrics_json: {stats_lines} stats line(s), "

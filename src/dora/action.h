@@ -19,10 +19,14 @@
 #define DORADB_DORA_ACTION_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <mutex>
+#include <new>
+#include <string_view>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "engine/database.h"
@@ -48,9 +52,95 @@ struct ActionEnv {
   Transaction* txn;
   DoraTxn* dtxn;
   Executor* self;
+
+  // Index probe routed through the executor's leaf-cursor cache: inside an
+  // epoch batch, sorted neighbor keys resolve from one B+Tree descent
+  // (storage/btree.h LeafCursor). Falls back to a plain Probe when epoch
+  // batching is off. Defined in action.cc (needs Executor).
+  Status Probe(IndexId index, std::string_view key, IndexEntry* out) const;
 };
 
-using ActionBody = std::function<Status(ActionEnv&)>;
+// Fixed-capacity, allocation-free callable holding an action body. The
+// std::function it replaces heap-allocated every capture over two words —
+// and with epoch batching, dispatch is the per-request hot path. Captures
+// live inline (kCapacity bytes covers the largest workload capture, TPC-C
+// NewOrder's input struct + line index vector) and dispatch goes through a
+// per-capture-type static op table. Move-only, like the unique captures it
+// stores; moves relocate the capture, so Action vectors recycle cleanly.
+class ActionBody {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  ActionBody() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, ActionBody> &&
+                std::is_invocable_r_v<Status, std::decay_t<F>&, ActionEnv&>>>
+  ActionBody(F&& f) {  // NOLINT: implicit, mirrors std::function
+    using Fn = std::decay_t<F>;
+    static_assert(sizeof(Fn) <= kCapacity,
+                  "action capture exceeds ActionBody::kCapacity — shrink "
+                  "the lambda capture (move bulky state behind a "
+                  "shared_ptr) or raise kCapacity");
+    static_assert(alignof(Fn) <= alignof(std::max_align_t),
+                  "over-aligned action capture");
+    new (storage_) Fn(std::forward<F>(f));
+    ops_ = &OpsFor<Fn>::kOps;
+  }
+
+  ActionBody(ActionBody&& o) noexcept { MoveFrom(o); }
+  ActionBody& operator=(ActionBody&& o) noexcept {
+    if (this != &o) {
+      Destroy();
+      MoveFrom(o);
+    }
+    return *this;
+  }
+  ActionBody(const ActionBody&) = delete;
+  ActionBody& operator=(const ActionBody&) = delete;
+  ~ActionBody() { Destroy(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+  Status operator()(ActionEnv& env) { return ops_->invoke(storage_, env); }
+
+ private:
+  struct Ops {
+    Status (*invoke)(void*, ActionEnv&);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+  template <typename Fn>
+  struct OpsFor {
+    static constexpr Ops kOps = {
+        [](void* p, ActionEnv& env) -> Status {
+          return (*static_cast<Fn*>(p))(env);
+        },
+        [](void* dst, void* src) {
+          Fn* s = static_cast<Fn*>(src);
+          new (dst) Fn(std::move(*s));
+          s->~Fn();
+        },
+        [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+  };
+
+  void MoveFrom(ActionBody& o) {
+    ops_ = o.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(storage_, o.storage_);
+      o.ops_ = nullptr;
+    }
+  }
+  void Destroy() {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char storage_[kCapacity];
+  const Ops* ops_ = nullptr;
+};
 
 // Header of every executor inbox message. Executors receive exactly three
 // message kinds through one MPSC queue: dispatched actions, transaction

@@ -64,6 +64,7 @@ class PartitionedLogManager final : public LogBackend {
   PartitionedLogManager& operator=(const PartitionedLogManager&) = delete;
 
   Lsn Append(LogRecord* rec) override;
+  Lsn AppendBulk(LogRecord* const* recs, size_t n) override;
   void WaitFlushed(Lsn lsn) override;
   void FlushTo(Lsn lsn) override { WaitFlushed(lsn); }
   void WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) override;

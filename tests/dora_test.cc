@@ -475,6 +475,187 @@ TEST_F(DoraEngineTest, SerialPlanAvoidsWastedWorkOnAbort) {
   EXPECT_FALSE(second_ran.load());
 }
 
+// ---------------------------------------------------------- epoch batching
+
+// Database + engine with epoch batching armed at `min_batch`. `pipelined`
+// turns on pipelined commit over the partitioned log backend, so the
+// epoch-close path (bulk commit append + batched acks) is exercised end to
+// end; without it, epochs only reorder execution.
+class EpochBatchTest : public ::testing::Test {
+ protected:
+  void Build(uint32_t min_batch, bool pipelined) {
+    if (engine_) engine_->Stop();
+    engine_.reset();
+    db_.reset();
+    Database::Options dbo = SmallDb();
+    if (pipelined) {
+      dbo.log_backend = LogBackendKind::kPartitioned;
+      dbo.log_partitions = 2;
+    }
+    db_ = std::make_unique<Database>(dbo);
+    ASSERT_TRUE(db_->catalog()->CreateTable("a", &table_a_).ok());
+    DoraEngine::Options eo;
+    eo.epoch_batch_min = min_batch;
+    eo.pipelined_commit = pipelined;
+    engine_ = std::make_unique<DoraEngine>(db_.get(), eo);
+    engine_->RegisterTable(table_a_, 100, 2);
+    engine_->Start();
+  }
+  void TearDown() override {
+    if (engine_) engine_->Stop();
+  }
+
+  // One counter record per routing key in `keys`, initialized to zero.
+  void SeedCounters(const std::vector<uint64_t>& keys) {
+    rids_.clear();
+    for (uint64_t key : keys) {
+      auto dtxn = engine_->BeginTxn();
+      Rid rid;
+      FlowGraph g;
+      g.AddPhase().AddAction(table_a_, key, LocalMode::kX,
+                             [&](ActionEnv& env) {
+        return env.db->Insert(env.txn, table_a_, "00000000", &rid,
+                              AccessOptions::RidOnly());
+      });
+      ASSERT_TRUE(engine_->Run(dtxn, std::move(g)).ok());
+      rids_.push_back(rid);
+    }
+    keys_ = keys;
+  }
+
+  // TPC-B-shaped mix: `threads` clients each run `iters` single-action
+  // increments against rng-chosen counters. Returns the client-observed
+  // failure count; the per-counter totals are checked by SumCounters().
+  int RunIncrementMix(int threads, int iters) {
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    for (int t = 0; t < threads; ++t) {
+      clients.emplace_back([&, t] {
+        Rng rng(uint64_t(t) + 1);
+        for (int i = 0; i < iters; ++i) {
+          const size_t pick =
+              rng.UniformInt(size_t{0}, keys_.size() - 1);
+          auto dtxn = engine_->BeginTxn();
+          FlowGraph g;
+          g.AddPhase().AddAction(table_a_, keys_[pick], LocalMode::kX,
+                                 [&, pick](ActionEnv& env) {
+            std::string val;
+            DORADB_RETURN_NOT_OK(env.db->Read(env.txn, table_a_, rids_[pick],
+                                              &val, AccessOptions::NoCc()));
+            const uint64_t n = std::stoull(val) + 1;
+            char buf[9];
+            std::snprintf(buf, sizeof(buf), "%08lu", n);
+            return env.db->Update(env.txn, table_a_, rids_[pick],
+                                  std::string_view(buf, 8),
+                                  AccessOptions::NoCc());
+          });
+          if (!engine_->Run(dtxn, std::move(g)).ok()) failures++;
+        }
+      });
+    }
+    for (auto& c : clients) c.join();
+    return failures.load();
+  }
+
+  uint64_t SumCounters() {
+    uint64_t sum = 0;
+    for (const Rid& rid : rids_) {
+      std::string val;
+      EXPECT_TRUE(db_->catalog()->Heap(table_a_)->Get(rid, &val).ok());
+      sum += std::stoull(val);
+    }
+    return sum;
+  }
+
+  std::unique_ptr<Database> db_;
+  TableId table_a_ = 0;
+  std::unique_ptr<DoraEngine> engine_;
+  std::vector<uint64_t> keys_;
+  std::vector<Rid> rids_;
+};
+
+TEST_F(EpochBatchTest, BatchedConflictsSerialize) {
+  // Threshold 1 forces every drain onto the epoch path. Hammering a single
+  // counter from many clients must still serialize through the local lock
+  // table: admission order (and therefore parking) is untouched by the
+  // key-sorted execution reorder.
+  Build(/*min_batch=*/1, /*pipelined=*/false);
+  SeedCounters({7});
+  EXPECT_EQ(RunIncrementMix(/*threads=*/4, /*iters=*/50), 0);
+  EXPECT_EQ(SumCounters(), 200u) << "lost update under epoch batching";
+  const auto stats = engine_->CollectInboxStats();
+  EXPECT_GT(stats.epoch_actions, 0u)
+      << "threshold 1 must route ready actions through epoch groups";
+  EXPECT_GE(stats.epoch_actions, stats.epoch_groups);
+}
+
+TEST_F(EpochBatchTest, TicketedGraphsNeverDeadlockUnderBatching) {
+  // §4.2.3 under batching: multi-action graphs take the ticket-ordered
+  // admission path while concurrent single-action traffic runs in epoch
+  // groups on the same executors. Neither path may starve or deadlock the
+  // other, and ticket order must hold across epoch boundaries.
+  Build(/*min_batch=*/1, /*pipelined=*/false);
+  SeedCounters({3, 77});
+  constexpr int kThreads = 4, kIters = 40;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        auto dtxn = engine_->BeginTxn();
+        FlowGraph g;
+        g.AddPhase()
+            .AddAction(table_a_, 3, LocalMode::kX,
+                       [](ActionEnv&) { return Status::OK(); })
+            .AddAction(table_a_, 77, LocalMode::kX,
+                       [](ActionEnv&) { return Status::OK(); });
+        if (!engine_->Run(dtxn, std::move(g)).ok()) failures++;
+      }
+    });
+  }
+  const int mix_failures = RunIncrementMix(/*threads=*/2, /*iters=*/40);
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0) << "ticketed txn deadlocked or timed out";
+  EXPECT_EQ(mix_failures, 0);
+  EXPECT_EQ(SumCounters(), 80u);
+}
+
+TEST_F(EpochBatchTest, EpochAcksMatchPerTxnAcks) {
+  // Same pipelined-commit TPC-B-style mix over the partitioned log, acked
+  // per-transaction (batching off) vs per-epoch (threshold 1). The durable
+  // invariant — every committed increment visible, none duplicated — must
+  // be identical.
+  constexpr int kThreads = 4, kIters = 40;
+  const std::vector<uint64_t> keys = {5, 25, 45, 65, 85};
+  uint64_t sums[2];
+  int i = 0;
+  for (const uint32_t min_batch : {0u, 1u}) {
+    Build(min_batch, /*pipelined=*/true);
+    SeedCounters(keys);
+    EXPECT_EQ(RunIncrementMix(kThreads, kIters), 0);
+    sums[i++] = SumCounters();
+    if (min_batch != 0) {
+      EXPECT_GT(engine_->CollectInboxStats().epoch_actions, 0u);
+    }
+  }
+  EXPECT_EQ(sums[0], uint64_t(kThreads * kIters));
+  EXPECT_EQ(sums[1], sums[0])
+      << "epoch-granular acks changed the committed state";
+}
+
+TEST_F(EpochBatchTest, HighThresholdKeepsPerActionPathAtLowLoad) {
+  // A sequential client never piles up a drain of 64 ready actions, so an
+  // armed-but-high threshold must leave the per-action path (and its
+  // latency profile) untouched: zero epoch groups, all commits fine.
+  Build(/*min_batch=*/64, /*pipelined=*/false);
+  SeedCounters({7});
+  EXPECT_EQ(RunIncrementMix(/*threads=*/1, /*iters=*/50), 0);
+  EXPECT_EQ(SumCounters(), 50u);
+  const auto stats = engine_->CollectInboxStats();
+  EXPECT_EQ(stats.epoch_groups, 0u)
+      << "low load must never trip the batch threshold";
+}
+
 // ------------------------------------------------------------- PlanAdvisor
 
 TEST(PlanAdvisorTest, RecommendsSerialAboveThreshold) {
