@@ -17,7 +17,12 @@ format, normally on stderr) and fails if:
   * across all lines, no metric was seen from one of the engine's core
     namespaces (dora., log., txn., ckpt., prof.) — the smoke runs a
     started engine, so every subsystem (including the stage-gap
-    profiler) must have checked in.
+    profiler) must have checked in;
+  * the durability health metrics are missing: every snapshot must carry
+    the "engine.health_state" gauge (0 ok, 1 degraded) and the
+    "log.io_retries" / "log.io_errors" counters, so a degraded engine
+    (poisoned WAL/page medium) is visible in /metrics and the stats
+    stream, not only via /healthz.
 
 Also validates:
   * "DORADB_HEATMAP {json}" lines (the reporter's per-executor load
@@ -50,6 +55,10 @@ HEATMAP_ROW_FIELDS = ("exec", "depth", "drained_per_s", "qwait_p99_ns",
                       "busy_frac")
 VALID_REASONS = {"interval", "final"}
 REQUIRED_NAMESPACES = ("dora.", "log.", "txn.", "ckpt.", "prof.")
+# Fault-injection / degradation visibility: registered unconditionally by
+# every Database, so their absence means the health plumbing regressed.
+REQUIRED_HEALTH_METRICS = ("engine.health_state", "log.io_retries",
+                           "log.io_errors")
 BATCH_GROUP_RE = re.compile(r"^dora\.exec\.\d+\.batch\.group_size$")
 
 
@@ -209,6 +218,10 @@ def main(argv):
         for ns in REQUIRED_NAMESPACES:
             if not any(n.startswith(ns) for n in seen_names):
                 errors.append(f"no metric from namespace {ns!r} ever reported")
+        for name in REQUIRED_HEALTH_METRICS:
+            if name not in seen_names:
+                errors.append(f"health metric {name!r} never reported "
+                              f"(degradation latch not wired into metrics?)")
         # A reporter that tagged any line must have closed with a final
         # flush; endpoint-only captures (no reason field at all) are fine.
         if seen_reasons and "final" not in seen_reasons:

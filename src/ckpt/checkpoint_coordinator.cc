@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/health.h"
 #include "obs/heartbeat.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
@@ -99,6 +100,12 @@ Status CheckpointCoordinator::CheckpointAll() {
 Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
                                            bool all_partitions) {
   std::lock_guard<std::mutex> g(ckpt_mu_);
+  // A degraded engine takes no new checkpoints: the log horizon may be
+  // frozen behind a poisoned partition, and any truncation computed now
+  // could drop records recovery still needs to reach that frozen point.
+  if (obs::EngineHealth::Default().degraded()) {
+    return Status::Unavailable("ckpt: engine degraded, checkpoint skipped");
+  }
   const bool metrics = obs::MetricsEnabled();
   const uint64_t t0 = metrics ? Cycles::Now() : 0;
   const uint64_t reclaimed_before = metrics ? log_->reclaimed_bytes() : 0;
@@ -145,7 +152,11 @@ Status CheckpointCoordinator::DoCheckpoint(uint32_t partition,
   rec.active_txns = std::move(active);
   const Lsn end = log_->Append(&rec);
   if (!all_partitions) log_->BindThisThread(prev_binding);
-  log_->WaitFlushed(end);
+  // If the wait fails (a partition poisoned mid-checkpoint) the round must
+  // NOT truncate: the computed horizon assumed a flush that never became
+  // durable, and truncating past a poisoned partition's frozen watermark
+  // would drop records recovery still needs.
+  DORADB_RETURN_NOT_OK(log_->WaitFlushed(end));
 
   // (6) Advance the truncation point. Safe regardless of whether the
   // checkpoint record itself survives a crash: the horizon's validity

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/health.h"
 #include "obs/heartbeat.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
@@ -251,11 +252,24 @@ void DoraEngine::AckLoop(AckShard* shard, size_t idx) {
       Lsn max_gsn = kInvalidLsn;
       for (const auto& ack : batch) max_gsn = std::max(max_gsn, ack.gsn);
       hb->SetStage("wait-durable");
-      db_->log_manager()->WaitFlushedFrom(partition, max_gsn);
+      const Status durable =
+          db_->log_manager()->WaitFlushedFrom(partition, max_gsn);
       hb->Beat();
       hb->SetStage("ack");
+      // On a durability failure the frozen horizon still covers a prefix
+      // of the batch — those commits ARE durable and ack normally. The
+      // rest are indeterminate: never re-acked over a failed fsync, never
+      // rolled back either (their records may have reached the medium).
+      const Lsn covered =
+          durable.ok() ? max_gsn : db_->log_manager()->flushed_lsn();
       for (auto& ack : batch) {
         Transaction* txn = ack.dtxn->txn();
+        if (!durable.ok() && ack.gsn > covered) {
+          const Status s = db_->CommitIndeterminate(txn, durable);
+          ack.dtxn->Complete(s);
+          ack.dtxn->Unref();  // ack queue's reference
+          continue;
+        }
         obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
         if (ack.dtxn->prof.armed) {
           ack.dtxn->prof.Stamp(obs::TraceStage::kDurable);
@@ -471,8 +485,12 @@ void DoraEngine::FinalizeInline(DoraTxn* dtxn) {
 }
 
 void DoraEngine::FinishTxn(DoraTxn* dtxn, Executor* self) {
-  if (!dtxn->aborted() && options_.pipelined_commit &&
-      !ack_shards_.empty()) {
+  // A degraded engine takes the synchronous fallback below: Database::
+  // Commit handles the read-only/rollback split and surfaces the typed
+  // Unavailable — pipelining a commit that can never become durable would
+  // only park it in an ack queue to fail later.
+  if (!dtxn->aborted() && options_.pipelined_commit && !ack_shards_.empty() &&
+      !obs::EngineHealth::Default().degraded()) {
     // Mid-epoch finish: park the commit for the epoch-close bulk append.
     // Locks stay held until CommitEpoch's fan-out — which runs AFTER the
     // epoch's GSNs are drawn, preserving the dependent-GSN ordering ELR
@@ -543,7 +561,14 @@ void DoraEngine::FinishTxn(DoraTxn* dtxn, Executor* self) {
     if (dtxn->prof.armed) {
       dtxn->prof.Stamp(obs::TraceStage::kDurable);
     }
-    committed_.fetch_add(1, std::memory_order_relaxed);
+    if (final_status.ok()) {
+      committed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      // Degraded engine: the commit failed Unavailable (rolled back or
+      // indeterminate) — counting it as committed would overstate the
+      // engine's own throughput numbers.
+      aborted_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 
   // Completion fan-out (§A.1 steps 10-12) after commit/abort completes.

@@ -1,5 +1,6 @@
 #include "engine/database.h"
 
+#include "obs/health.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
 #include "plog/partitioned_log_manager.h"
@@ -24,8 +25,13 @@ std::unique_ptr<LogBackend> MakeLogBackend(const Database::Options& options) {
 }
 }  // namespace
 
+Database::Options Database::ResetHealthThenPass(Options options) {
+  obs::EngineHealth::Default().Reset();
+  return options;
+}
+
 Database::Database(Options options)
-    : options_(options),
+    : options_(ResetHealthThenPass(options)),
       disk_(std::make_unique<DiskManager>(options.data_dir)),
       pool_(std::make_unique<BufferPool>(disk_.get(), options.buffer_frames)),
       catalog_(std::make_unique<Catalog>(pool_.get())),
@@ -90,8 +96,10 @@ Database::Database(Options options)
   ckpt_->SetCatalogPersist([this] { return catalog_->Persist(); });
   pool_->SetWalFlushCallback([this](Lsn lsn) {
     // WAL rule: the covering (partition) flush horizon must pass the page
-    // LSN before the dirty page may be stolen.
-    if (lsn != kInvalidLsn) log_->FlushTo(lsn);
+    // LSN before the dirty page may be stolen. A poisoned log stream makes
+    // that impossible — report failure so the pool refuses the write-back.
+    if (lsn == kInvalidLsn) return true;
+    return log_->FlushTo(lsn).ok();
   });
   // Dirty-page attribution for partition-local checkpoints: a logged write
   // belongs to the writer's bound log partition.
@@ -150,6 +158,24 @@ Database::Database(Options options)
   cb("ckpt.last_horizon",
      [this] { return static_cast<int64_t>(ckpt_->last_horizon()); }, kGau,
      "lsn");
+  // Health surface: 0 = Ok, 1 = Degraded (read-only; logged commits fail
+  // Unavailable). The retry/error counters come from the storage layer's
+  // bounded-retry I/O wrappers and count process-wide.
+  cb("engine.health_state",
+     [] {
+       return static_cast<int64_t>(obs::EngineHealth::Default().state());
+     },
+     kGau, "state");
+  cb("log.io_retries",
+     [] {
+       return static_cast<int64_t>(obs::EngineHealth::Default().io_retries());
+     },
+     kCtr, "retries");
+  cb("log.io_errors",
+     [] {
+       return static_cast<int64_t>(obs::EngineHealth::Default().io_errors());
+     },
+     kCtr, "errors");
   if (options_.stats_interval_ms != 0) {
     reporter_ = std::make_unique<obs::StatsReporter>(
         &reg, options_.stats_interval_ms);
@@ -228,9 +254,32 @@ Histogram* Database::CommitLatencyHistogram() {
 }
 
 Status Database::Commit(Transaction* txn) {
+  auto& health = obs::EngineHealth::Default();
+  if (health.degraded()) {
+    if (!txn->logged_work()) {
+      // Read-only transaction: nothing beyond the eager kBegin was logged,
+      // so its commit needs no durability wait — degraded mode keeps
+      // serving reads.
+      for (auto& fn : txn->post_commit()) fn();
+      txn->post_commit().clear();
+      lock_->ReleaseAll(txn);
+      txns_->Finish(txn);
+      txn->set_state(TxnState::kCommitted);
+      return Status::OK();
+    }
+    // Logged transaction, caught before the commit record: nothing it
+    // wrote can ever become durable, so roll it back cleanly while its
+    // undo chain is still intact and surface the typed error.
+    (void)Abort(txn);
+    return Status::Unavailable("engine degraded: " + health.reason());
+  }
   const Lsn end = CommitAsync(txn);
   obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kCommitAppend);
-  log_->WaitFlushed(end);  // durability point (group commit)
+  // Durability point (group commit). A failure here is NOT an abort: the
+  // commit record is already appended and may or may not have reached the
+  // medium before the stream poisoned itself.
+  const Status durable = log_->WaitFlushed(end);
+  if (!durable.ok()) return CommitIndeterminate(txn, durable);
   obs::CommitTracer::Stamp(txn->id(), obs::TraceStage::kDurable);
   const Status s = CommitFinalize(txn);
   if (obs::MetricsEnabled() && txn->start_tsc() != 0) {
@@ -238,6 +287,23 @@ Status Database::Commit(Transaction* txn) {
         Cycles::ToNanos(Cycles::Now() - txn->start_tsc())));
   }
   return s;
+}
+
+Status Database::CommitIndeterminate(Transaction* txn, Status why) {
+  // The client must not assume the commit happened (no post-commit
+  // actions, no kEnd record, no physical frees of ghost deletes); recovery
+  // decides the outcome from the stable log on the next lifetime. Locks
+  // are released and the handle retired so the client can dispose of it.
+  if (obs::MetricsEnabled()) {
+    static obs::Counter* c = obs::MetricsRegistry::Default().GetCounter(
+        "txn.commit_indeterminate", "txns");
+    c->Add();
+  }
+  txn->post_commit().clear();
+  lock_->ReleaseAll(txn);
+  txns_->Finish(txn);
+  txn->set_state(TxnState::kAborted);
+  return why;
 }
 
 Lsn Database::CommitAsync(Transaction* txn) {

@@ -154,6 +154,14 @@ class Database {
   Lsn CommitAsync(Transaction* txn);
   Status CommitFinalize(Transaction* txn);
 
+  // The failure-side counterpart of CommitFinalize: the commit record was
+  // appended (CommitAsync) but its durability wait failed — the outcome is
+  // indeterminate until recovery reads the stable log. Runs no post-commit
+  // actions and no rollback (undoing a possibly-durable commit would be
+  // wrong); releases locks, retires the handle, and returns `why` so the
+  // caller surfaces the typed error to the client.
+  Status CommitIndeterminate(Transaction* txn, Status why);
+
   // Bulk CommitAsync for DORA's epoch-batched commit path: builds all n
   // commit records and hands them to the log backend in ONE AppendBulk
   // call (one buffer-latch reservation on the plog). out_lsn[i] receives
@@ -237,6 +245,12 @@ class Database {
 
   // Shared by Commit (deferred deletes) and recovery redo.
   Status PhysicalDelete(TableId table, const Rid& rid, Lsn lsn);
+
+  // Runs before any member constructs (options_ is the first member):
+  // clears the process-wide health latch so a reopen over a previously
+  // degraded engine starts healthy — the subsystems built next re-latch it
+  // if the medium is still failing.
+  static Options ResetHealthThenPass(Options options);
 
   Options options_;
   std::unique_ptr<DiskManager> disk_;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "log/log_record.h"
+#include "util/status.h"
 
 namespace doradb {
 
@@ -46,17 +47,21 @@ class LogBackend {
   }
 
   // Block until everything up to `lsn` is stable (group commit wait).
-  virtual void WaitFlushed(Lsn lsn) = 0;
+  // Returns Unavailable when the stable medium is poisoned (a failed
+  // durability point — see LogStorage::poisoned()) and the horizon can
+  // never reach `lsn`: the record may or may not be on the platter, but
+  // it must NOT be acknowledged as durable.
+  virtual Status WaitFlushed(Lsn lsn) = 0;
   // Trigger + wait: used by the buffer pool's WAL rule before page steals.
-  virtual void FlushTo(Lsn lsn) = 0;
+  virtual Status FlushTo(Lsn lsn) = 0;
 
   // Commit-pipelining wait: like WaitFlushed, but the caller vouches that
   // `lsn` lives in `partition_hint`, so the backend may flush only that
   // partition and let the others' flushers advance the horizon on their
   // own cadence — avoiding an all-partition flush storm per commit.
-  virtual void WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) {
+  virtual Status WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) {
     (void)partition_hint;
-    WaitFlushed(lsn);
+    return WaitFlushed(lsn);
   }
 
   virtual Lsn flushed_lsn() const = 0;

@@ -28,6 +28,9 @@ LogManager::LogManager(Options options) : options_(options) {
       next_lsn_.store(end, std::memory_order_relaxed);
       flushed_lsn_.store(end, std::memory_order_relaxed);
     }
+    // Born poisoned (open-time media failure): reads and recovery still
+    // work; logged commits will fail Unavailable from the first wait.
+    if (stable_->poisoned()) poisoned_.store(true, std::memory_order_release);
   }
   flusher_ = std::thread([this] { FlusherLoop(); });
 }
@@ -51,23 +54,30 @@ Lsn LogManager::Append(LogRecord* rec) {
     next_lsn_.store(end, std::memory_order_relaxed);
   }
   appends_.fetch_add(1, std::memory_order_relaxed);
-  if (options_.synchronous) FlushTo(end);
+  if (options_.synchronous) (void)FlushTo(end);
   return end;
 }
 
-void LogManager::WaitFlushed(Lsn lsn) {
-  if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) return;
+Status LogManager::WaitFlushed(Lsn lsn) {
+  if (flushed_lsn_.load(std::memory_order_acquire) >= lsn) return Status::OK();
   ScopedTimeClass timer(TimeClass::kLogWork);
   // Self-service group commit: the waiter performs a flush, carrying every
   // record buffered so far (its own and everyone else's).
   DoFlush();
   while (flushed_lsn_.load(std::memory_order_acquire) < lsn) {
+    // A poisoned stream's horizon is frozen: waiting longer cannot make
+    // `lsn` durable, and pretending otherwise would re-ack over a failed
+    // fsync. Bail with the typed error commits surface to clients.
+    if (poisoned_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("log: central stream poisoned");
+    }
     NapMicros(options_.flush_interval_us);
     DoFlush();
   }
+  return Status::OK();
 }
 
-void LogManager::FlushTo(Lsn lsn) { WaitFlushed(lsn); }
+Status LogManager::FlushTo(Lsn lsn) { return WaitFlushed(lsn); }
 
 Lsn LogManager::DoFlush() {
   // Metrics are recorded after stable_mu_ is released: in the central
@@ -78,10 +88,14 @@ Lsn LogManager::DoFlush() {
   size_t flushed_bytes = 0;
   uint64_t sync_ns = 0;
   bool synced = false;
+  bool failed = false;
   const bool metrics = obs::MetricsEnabled();
   Lsn upto;
   {
     std::lock_guard<std::mutex> g(stable_mu_);
+    if (poisoned_.load(std::memory_order_relaxed)) {
+      return flushed_lsn_.load(std::memory_order_relaxed);
+    }
     std::vector<uint8_t> pending;
     {
       TatasGuard b(buffer_latch_, TimeClass::kLogContention);
@@ -91,19 +105,30 @@ Lsn LogManager::DoFlush() {
     if (!pending.empty()) {
       // `upto` upper-bounds every record LSN in the batch — conservative
       // for segment unlinking, exact for the flush horizon.
-      stable_->AppendBatch(pending.data(), pending.size(), upto);
-      flushes_.fetch_add(1, std::memory_order_relaxed);
-      flushed_bytes = pending.size();
+      if (!stable_->AppendBatch(pending.data(), pending.size(), upto).ok()) {
+        failed = true;
+      } else {
+        flushes_.fetch_add(1, std::memory_order_relaxed);
+        flushed_bytes = pending.size();
+      }
     }
-    if (upto > flushed_lsn_.load(std::memory_order_relaxed)) {
+    if (!failed && upto > flushed_lsn_.load(std::memory_order_relaxed)) {
       // Durability before advertisement: commits gate on flushed_lsn.
       const bool time_sync = metrics && stable_->durable();
       const uint64_t t0 = time_sync ? Cycles::Now() : 0;
-      stable_->Sync(upto);
-      if (time_sync) {
+      if (!stable_->Sync(upto).ok()) {
+        failed = true;
+      } else if (time_sync) {
         sync_ns = static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0));
         synced = true;
       }
+    }
+    if (failed) {
+      // The medium poisoned itself (storage latches on the first hard
+      // failure); freeze the advertised horizon exactly where the last
+      // successful Sync left it — anything past it is unprovable.
+      poisoned_.store(true, std::memory_order_release);
+      return flushed_lsn_.load(std::memory_order_relaxed);
     }
     flushed_lsn_.store(upto, std::memory_order_release);
   }

@@ -62,9 +62,10 @@ class LogManager final : public LogBackend {
   Lsn Append(LogRecord* rec) override;
 
   // Block until everything up to `lsn` is stable (group commit wait).
-  void WaitFlushed(Lsn lsn) override;
+  // Unavailable once the stable medium is poisoned and lsn is uncovered.
+  Status WaitFlushed(Lsn lsn) override;
   // Trigger + wait: used by the buffer pool's WAL rule before page steals.
-  void FlushTo(Lsn lsn) override;
+  Status FlushTo(Lsn lsn) override;
 
   Lsn flushed_lsn() const override {
     return flushed_lsn_.load(std::memory_order_acquire);
@@ -104,6 +105,11 @@ class LogManager final : public LogBackend {
     return stable_->recovered_max_page_id();
   }
 
+  // True once the stable medium latched a persistent I/O failure: the
+  // flush horizon is frozen, logged commits fail Unavailable, reads keep
+  // serving from what is already durable.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
  private:
   void FlusherLoop();
   // Moves the volatile buffer into the stable region. Returns new flushed lsn.
@@ -122,6 +128,7 @@ class LogManager final : public LogBackend {
   std::unique_ptr<LogStorage> stable_;
 
   std::atomic<bool> stop_{false};
+  std::atomic<bool> poisoned_{false};  // mirrors stable_->poisoned()
   std::thread flusher_;
 
   std::atomic<uint64_t> appends_{0};

@@ -44,11 +44,22 @@ class LogStorage {
   // Append `n` bytes of whole records whose highest LSN is `last_lsn`
   // (pass kInvalidLsn when unknown — e.g. a deliberately torn test write —
   // which pins the receiving segment against unlinking).
-  virtual void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) = 0;
+  // Returns non-OK when the medium failed persistently (see poisoned()):
+  // the bytes must be treated as not durable and never acked.
+  virtual Status AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) = 0;
 
   // Durability point: fsync appended bytes and persist `watermark` as the
-  // stream's claim. No-op for memory.
-  virtual void Sync(Lsn watermark) = 0;
+  // stream's claim. No-op for memory. A non-OK return means the claim did
+  // NOT become durable; per the fsyncgate rule a failed sync poisons the
+  // stream permanently — the owner must never advance its in-memory
+  // watermark past this point, however later calls fare.
+  virtual Status Sync(Lsn watermark) = 0;
+
+  // True once a persistent media failure latched the stream read-only.
+  // Poison is one-way for the stream's lifetime: a failed fsync may leave
+  // the kernel's dirty pages marked clean, so a retry that "succeeds"
+  // proves nothing about what reached the platter.
+  virtual bool poisoned() const { return false; }
 
   // True when Sync actually pays for durability (file-backed media): the
   // owner may then rate-limit watermark-only syncs for idle streams. The
@@ -90,12 +101,16 @@ class LogStorage {
 // The seed medium: one in-memory byte vector. Dies with the process.
 class MemoryLogStorage final : public LogStorage {
  public:
-  void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override {
+  Status AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override {
     (void)last_lsn;
     stable_.insert(stable_.end(), data, data + n);
+    return Status::OK();
   }
 
-  void Sync(Lsn watermark) override { (void)watermark; }
+  Status Sync(Lsn watermark) override {
+    (void)watermark;
+    return Status::OK();
+  }
 
   std::vector<LogRecord> Decode(Status* tail) const override {
     std::vector<LogRecord> out;

@@ -315,8 +315,11 @@ Status RecoveryDriver::UndoLosers() {
     end_rec.txn = txn;
     log->Append(&end_rec);
   }
-  log->FlushTo(log->current_lsn());
-  return Status::OK();
+  // Persist the undo's CLRs and end records. On a poisoned medium the
+  // flush cannot complete — recovery's in-memory result is still correct
+  // (the heaps are consistent), so surface the typed error rather than
+  // pretend the recovered state is durable.
+  return log->FlushTo(log->current_lsn());
 }
 
 }  // namespace doradb

@@ -10,7 +10,10 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/health.h"
+#include "util/clock.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 #include "util/sync_stats.h"
 
 namespace doradb {
@@ -22,9 +25,18 @@ constexpr size_t kHeaderBytes = 32;
 // A batch whose max LSN is unknown pins its segment against unlinking.
 constexpr Lsn kPinnedLsn = ~Lsn{0};
 
-// WAL storage failures have no graceful path upstream (the append/flush
-// surface is infallible by contract, like the memory medium): fail fast
-// with the errno and the path instead of limping into silent data loss.
+// Tier-(a) of the I/O error policy: transient write errors get a bounded
+// number of retries with exponential backoff before the stream is declared
+// failed. EINTR is retried unconditionally (it is not a media error).
+// Sync failures are tier-(b): NEVER retried — see Sync().
+constexpr int kIoRetries = 3;
+constexpr uint64_t kRetryBackoffUs = 200;
+
+// Fallback for failures with no graceful path upstream: syscalls outside
+// the fault-injectable durability set (rename, unlink, ftruncate, pread,
+// read-side opens). The commit-path syscalls — pwrite, fdatasync/fsync,
+// write-side open — never come here; they flow through the retry/poison
+// policy below instead.
 void OrDie(bool ok, const char* what, const std::string& path) {
   if (ok) return;
   std::fprintf(stderr, "segment_file: %s failed for %s: %s\n", what,
@@ -32,15 +44,34 @@ void OrDie(bool ok, const char* what, const std::string& path) {
   std::abort();
 }
 
-void PwriteAll(int fd, const uint8_t* data, size_t n, size_t offset,
-               const std::string& path) {
+// Write all `n` bytes, looping on partial writes, retrying EINTR freely
+// and transient errors (EIO/ENOSPC/...) kIoRetries times with backoff.
+// Exhaustion returns IOError; the caller decides whether that poisons the
+// stream. On failure a prefix may have landed (a torn record): recovery's
+// decode-and-truncate scan owns cleaning that up.
+Status PwriteAll(int fd, const uint8_t* data, size_t n, size_t offset,
+                 const std::string& path) {
+  auto& health = obs::EngineHealth::Default();
+  int attempts = 0;
   while (n > 0) {
-    const ssize_t w = ::pwrite(fd, data, n, static_cast<off_t>(offset));
-    OrDie(w > 0, "pwrite", path);
+    const ssize_t w = FaultInjector::Default().Pwrite(
+        fd, data, n, static_cast<off_t>(offset), path.c_str());
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (attempts >= kIoRetries) {
+        return Status::IOError("pwrite " + path + ": " +
+                               std::strerror(errno));
+      }
+      health.CountRetry();
+      NapMicros(kRetryBackoffUs << attempts);
+      ++attempts;
+      continue;
+    }
     data += w;
     n -= static_cast<size_t>(w);
     offset += static_cast<size_t>(w);
   }
+  return Status::OK();
 }
 
 // Header: [magic u64][watermark u64][covered_len u64][crc u32][pad u32].
@@ -86,11 +117,34 @@ SegmentFileStorage::SegmentFileStorage(std::string dir, uint32_t stream_id,
 SegmentFileStorage::~SegmentFileStorage() {
   if (active_fd_ >= 0) {
     // Clean shutdown: leave the active segment durable but do not count it
-    // as sealed — it reopens for appends next lifetime.
-    ::fdatasync(active_fd_);
+    // as sealed — it reopens for appends next lifetime. A failed sync here
+    // cannot be acked over (the stream is ending), but it must not pass
+    // silently either: anything still dirty may not have reached the
+    // platter, so record the hard error for the blackbox/metrics trail.
+    if (FaultInjector::Default().Fdatasync(
+            active_fd_, PathOf(segments_.back().seq).c_str()) != 0 &&
+        dirty_) {
+      obs::EngineHealth::Default().CountIOError();
+      std::fprintf(stderr,
+                   "segment_file: shutdown fdatasync failed for %s: %s\n",
+                   PathOf(segments_.back().seq).c_str(),
+                   std::strerror(errno));
+    }
     ::close(active_fd_);
     active_fd_ = -1;
   }
+}
+
+Status SegmentFileStorage::Poison(Status s) {
+  if (!poisoned_) {
+    poisoned_ = true;
+    io_status_ = std::move(s);
+    obs::EngineHealth::Default().CountIOError();
+    obs::EngineHealth::Default().Degrade("log: " + io_status_.ToString());
+    std::fprintf(stderr, "segment_file: stream %s poisoned: %s\n",
+                 dir_.c_str(), io_status_.ToString().c_str());
+  }
+  return io_status_;
 }
 
 std::string SegmentFileStorage::PathOf(uint64_t seq) const {
@@ -100,12 +154,21 @@ std::string SegmentFileStorage::PathOf(uint64_t seq) const {
   return dir_ + "/" + name;
 }
 
-void SegmentFileStorage::SyncDirectory() {
-  const int fd = ::open(dir_.c_str(), O_RDONLY | O_DIRECTORY);
-  OrDie(fd >= 0, "open(dir)", dir_);
-  OrDie(::fsync(fd) == 0, "fsync(dir)", dir_);
+Status SegmentFileStorage::SyncDirectory() {
+  const int fd =
+      FaultInjector::Default().Open(dir_.c_str(), O_RDONLY | O_DIRECTORY, 0);
+  if (fd < 0) {
+    return Poison(Status::IOError("open(dir) " + dir_ + ": " +
+                                  std::strerror(errno)));
+  }
+  if (FaultInjector::Default().Fsync(fd, dir_.c_str()) != 0) {
+    ::close(fd);
+    return Poison(Status::IOError("fsync(dir) " + dir_ + ": " +
+                                  std::strerror(errno)));
+  }
   ::close(fd);
   DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
+  return Status::OK();
 }
 
 void SegmentFileStorage::OpenDir() {
@@ -191,11 +254,20 @@ void SegmentFileStorage::OpenDir() {
       if (seq != seqs.back()) {
         std::fprintf(stderr, "segment_file: %s\n", tail.ToString().c_str());
       }
-      const int fd = ::open(path.c_str(), O_RDWR);
-      OrDie(fd >= 0, "open", path);
+      const int fd = FaultInjector::Default().Open(path.c_str(), O_RDWR, 0);
+      if (fd < 0) {
+        (void)Poison(Status::IOError("open " + path + ": " +
+                                     std::strerror(errno)));
+        return;
+      }
       OrDie(::ftruncate(fd, static_cast<off_t>(kHeaderBytes + clean)) == 0,
             "ftruncate", path);
-      OrDie(::fdatasync(fd) == 0, "fdatasync", path);
+      if (FaultInjector::Default().Fdatasync(fd, path.c_str()) != 0) {
+        ::close(fd);
+        (void)Poison(Status::IOError("fdatasync " + path + ": " +
+                                     std::strerror(errno)));
+        return;
+      }
       ::close(fd);
       DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
       stream_broken = true;
@@ -230,25 +302,41 @@ void SegmentFileStorage::OpenDir() {
     next_seq_ = segments_.back().seq + 1;
     durable_watermark_ = recovered_watermark_;
     const std::string path = PathOf(segments_.back().seq);
-    active_fd_ = ::open(path.c_str(), O_RDWR);
-    OrDie(active_fd_ >= 0, "open", path);
-    if (stream_broken) SyncDirectory();
+    active_fd_ = FaultInjector::Default().Open(path.c_str(), O_RDWR, 0);
+    if (active_fd_ < 0) {
+      // Born poisoned: recovery can still Decode (read-side opens work),
+      // but the stream accepts no appends — the owner sees poisoned().
+      (void)Poison(Status::IOError("open " + path + ": " +
+                                   std::strerror(errno)));
+      return;
+    }
+    if (stream_broken) (void)SyncDirectory();
   } else {
-    CreateActive(next_seq_++, 0);
+    (void)CreateActive(next_seq_++, 0);
   }
 }
 
-void SegmentFileStorage::CreateActive(uint64_t seq, Lsn watermark) {
+Status SegmentFileStorage::CreateActive(uint64_t seq, Lsn watermark) {
   const std::string path = PathOf(seq);
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  OrDie(fd >= 0, "open(create)", path);
+  const int fd = FaultInjector::Default().Open(
+      path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Poison(Status::IOError("open(create) " + path + ": " +
+                                  std::strerror(errno)));
+  }
   uint8_t header[kHeaderBytes];
   // Covered length 0: the carried-forward claim's covering records were
   // sealed (fsynced) into earlier segments before this header exists.
   EncodeHeader(header, watermark, 0);
-  PwriteAll(fd, header, kHeaderBytes, 0, path);
-  OrDie(::fdatasync(fd) == 0, "fdatasync", path);
-  SyncDirectory();
+  Status s = PwriteAll(fd, header, kHeaderBytes, 0, path);
+  if (s.ok() && FaultInjector::Default().Fdatasync(fd, path.c_str()) != 0) {
+    s = Status::IOError("fdatasync " + path + ": " + std::strerror(errno));
+  }
+  if (!s.ok()) {
+    ::close(fd);
+    return Poison(std::move(s));
+  }
+  DORADB_RETURN_NOT_OK(SyncDirectory());
   DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
   Segment seg;
   seg.seq = seq;
@@ -256,55 +344,82 @@ void SegmentFileStorage::CreateActive(uint64_t seq, Lsn watermark) {
   active_fd_ = fd;
   durable_watermark_ = watermark;
   dirty_ = false;
+  return Status::OK();
 }
 
-void SegmentFileStorage::SealActive() {
-  OrDie(::fdatasync(active_fd_) == 0, "fdatasync",
-        PathOf(segments_.back().seq));
+Status SegmentFileStorage::SealActive() {
+  // The seal fsync is a durability point like Sync's: a failure here means
+  // the segment's tail may never have reached the platter, so it poisons
+  // the stream rather than sealing over the doubt.
+  if (FaultInjector::Default().Fdatasync(
+          active_fd_, PathOf(segments_.back().seq).c_str()) != 0) {
+    return Poison(Status::IOError("fdatasync " +
+                                  PathOf(segments_.back().seq) + ": " +
+                                  std::strerror(errno)));
+  }
   ::close(active_fd_);
   active_fd_ = -1;
   dirty_ = false;
   DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
   DurabilityStats::Count(stream_id_, DurabilityCounter::kSegmentsSealed);
+  return Status::OK();
 }
 
-void SegmentFileStorage::AppendBatch(const uint8_t* data, size_t n,
-                                     Lsn last_lsn) {
-  if (n == 0) return;
+Status SegmentFileStorage::AppendBatch(const uint8_t* data, size_t n,
+                                       Lsn last_lsn) {
+  if (poisoned_) return io_status_;
+  if (n == 0) return Status::OK();
   if (segments_.back().data_bytes >= options_.target_segment_bytes) {
-    SealActive();
-    CreateActive(next_seq_++, durable_watermark_);
+    DORADB_RETURN_NOT_OK(SealActive());
+    DORADB_RETURN_NOT_OK(CreateActive(next_seq_++, durable_watermark_));
   }
   Segment& seg = segments_.back();
-  PwriteAll(active_fd_, data, n, kHeaderBytes + seg.data_bytes,
-            PathOf(seg.seq));
+  const Status s = PwriteAll(active_fd_, data, n, kHeaderBytes + seg.data_bytes,
+                             PathOf(seg.seq));
+  if (!s.ok()) return Poison(s);
   seg.data_bytes += n;
   seg.max_lsn = last_lsn == kInvalidLsn ? kPinnedLsn
                                         : std::max(seg.max_lsn, last_lsn);
   dirty_ = true;
   DurabilityStats::Count(stream_id_, DurabilityCounter::kBytesFlushed, n);
+  return Status::OK();
 }
 
-void SegmentFileStorage::WriteHeaderWatermark(int fd, Lsn watermark,
-                                              uint64_t covered_len) {
+Status SegmentFileStorage::WriteHeaderWatermark(int fd, Lsn watermark,
+                                                uint64_t covered_len) {
   uint8_t header[kHeaderBytes];
   EncodeHeader(header, watermark, covered_len);
-  PwriteAll(fd, header, kHeaderBytes, 0, PathOf(segments_.back().seq));
+  // A torn header here is safe: the covered_len CRC makes recovery fall
+  // back to the decoded-records claim, never an overstated one.
+  return PwriteAll(fd, header, kHeaderBytes, 0, PathOf(segments_.back().seq));
 }
 
-void SegmentFileStorage::Sync(Lsn watermark) {
+Status SegmentFileStorage::Sync(Lsn watermark) {
+  if (poisoned_) return io_status_;
   const bool advance = watermark > durable_watermark_;
-  if (!dirty_ && !advance) return;
+  if (!dirty_ && !advance) return Status::OK();
   if (advance) {
-    WriteHeaderWatermark(active_fd_, watermark, segments_.back().data_bytes);
+    const Status s = WriteHeaderWatermark(active_fd_, watermark,
+                                          segments_.back().data_bytes);
+    if (!s.ok()) return Poison(s);
   }
   // One fdatasync covers the appended records and the claim: group commit
   // — every pipelined commit behind this watermark rides the same call.
-  OrDie(::fdatasync(active_fd_) == 0, "fdatasync",
-        PathOf(segments_.back().seq));
+  // Tier-(b): a failure is NOT retried. After a failed fsync the kernel
+  // may mark the dirty pages clean, so a later fsync can "succeed" without
+  // anything having reached the platter (the fsyncgate trap) — one failed
+  // durability point permanently poisons the stream, and the in-memory
+  // watermark the owner acks against never advances past it.
+  if (FaultInjector::Default().Fdatasync(
+          active_fd_, PathOf(segments_.back().seq).c_str()) != 0) {
+    return Poison(Status::IOError("fdatasync " +
+                                  PathOf(segments_.back().seq) + ": " +
+                                  std::strerror(errno)));
+  }
   if (advance) durable_watermark_ = watermark;
   dirty_ = false;
   DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
+  return Status::OK();
 }
 
 bool SegmentFileStorage::ReadSegment(const Segment& seg,
@@ -367,17 +482,22 @@ uint64_t SegmentFileStorage::ReclaimBelow(Lsn point) {
   // The active segment too, when it is wholly below the horizon: seal,
   // unlink, start fresh — the checkpoint vouches nothing in it is needed.
   if (segments_.size() == 1 && segments_.front().data_bytes > 0 &&
-      segments_.front().max_lsn != 0 && segments_.front().max_lsn < point) {
+      segments_.front().max_lsn != 0 && segments_.front().max_lsn < point &&
+      !poisoned_) {
     const Segment seg = segments_.front();
-    SealActive();
+    if (!SealActive().ok()) {
+      // The checkpoint vouches for the records, but a poisoned stream
+      // accepts no fresh active segment; keep what is on disk.
+      return freed;
+    }
     OrDie(::unlink(PathOf(seg.seq).c_str()) == 0, "unlink", PathOf(seg.seq));
     DurabilityStats::Count(stream_id_, DurabilityCounter::kSegmentsUnlinked);
     freed += seg.data_bytes;
     segments_.clear();
-    CreateActive(next_seq_++, durable_watermark_);
+    if (!CreateActive(next_seq_++, durable_watermark_).ok()) return freed;
     unlinked = true;
   }
-  if (unlinked) SyncDirectory();
+  if (unlinked) (void)SyncDirectory();
   return freed;
 }
 
@@ -413,8 +533,12 @@ void SegmentFileStorage::TruncateTo(Lsn horizon) {
     }
     segments_.resize(i + 1);
     const std::string path = PathOf(seg.seq);
-    active_fd_ = ::open(path.c_str(), O_RDWR);
-    OrDie(active_fd_ >= 0, "open", path);
+    active_fd_ = FaultInjector::Default().Open(path.c_str(), O_RDWR, 0);
+    if (active_fd_ < 0) {
+      (void)Poison(Status::IOError("open " + path + ": " +
+                                   std::strerror(errno)));
+      return;
+    }
     OrDie(::ftruncate(active_fd_,
                       static_cast<off_t>(kHeaderBytes + keep)) == 0,
           "ftruncate", path);
@@ -422,12 +546,20 @@ void SegmentFileStorage::TruncateTo(Lsn horizon) {
     seg.max_lsn = std::min(seg.max_lsn, horizon);
     // Carry the newest claim into the (possibly older) now-active header;
     // like the memory medium's watermark, it never goes backwards.
-    WriteHeaderWatermark(active_fd_, std::max(durable_watermark_, horizon),
-                         keep);
+    const Status hs = WriteHeaderWatermark(
+        active_fd_, std::max(durable_watermark_, horizon), keep);
+    if (!hs.ok()) {
+      (void)Poison(hs);
+      return;
+    }
     durable_watermark_ = std::max(durable_watermark_, horizon);
-    OrDie(::fdatasync(active_fd_) == 0, "fdatasync", path);
+    if (FaultInjector::Default().Fdatasync(active_fd_, path.c_str()) != 0) {
+      (void)Poison(Status::IOError("fdatasync " + path + ": " +
+                                   std::strerror(errno)));
+      return;
+    }
     DurabilityStats::Count(stream_id_, DurabilityCounter::kFsyncCalls);
-    SyncDirectory();
+    (void)SyncDirectory();
     dirty_ = false;
     return;
   }

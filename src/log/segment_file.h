@@ -60,9 +60,10 @@ class SegmentFileStorage final : public LogStorage {
   SegmentFileStorage(const SegmentFileStorage&) = delete;
   SegmentFileStorage& operator=(const SegmentFileStorage&) = delete;
 
-  void AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override;
-  void Sync(Lsn watermark) override;
+  Status AppendBatch(const uint8_t* data, size_t n, Lsn last_lsn) override;
+  Status Sync(Lsn watermark) override;
   bool durable() const override { return true; }
+  bool poisoned() const override { return poisoned_; }
   Lsn recovered_watermark() const override { return recovered_watermark_; }
   Lsn recovered_last_lsn() const override { return recovered_last_lsn_; }
   Lsn recovered_stream_end() const override { return recovered_stream_end_; }
@@ -93,13 +94,15 @@ class SegmentFileStorage final : public LogStorage {
   void OpenDir();
   // Create segment `seq` with a header carrying `watermark`; becomes the
   // active segment (fd open, file + directory entry fsynced).
-  void CreateActive(uint64_t seq, Lsn watermark);
+  Status CreateActive(uint64_t seq, Lsn watermark);
   // fsync + close the active segment.
-  void SealActive();
-  void SyncDirectory();
+  Status SealActive();
+  Status SyncDirectory();
   // Read one segment's record bytes (header stripped).
   bool ReadSegment(const Segment& seg, std::vector<uint8_t>* out) const;
-  void WriteHeaderWatermark(int fd, Lsn watermark, uint64_t covered_len);
+  Status WriteHeaderWatermark(int fd, Lsn watermark, uint64_t covered_len);
+  // Latch the stream failed (one-way); records + degrades engine health.
+  Status Poison(Status s);
 
   const std::string dir_;
   const uint32_t stream_id_;
@@ -108,6 +111,8 @@ class SegmentFileStorage final : public LogStorage {
   std::vector<Segment> segments_;  // oldest..newest; back() is active
   int active_fd_ = -1;
   bool dirty_ = false;  // active segment has un-fsynced appends
+  bool poisoned_ = false;  // persistent media failure; one-way latch
+  Status io_status_;       // the failure that poisoned the stream
   Lsn durable_watermark_ = 0;  // last claim written to the active header
   Lsn recovered_watermark_ = 0;
   Lsn recovered_last_lsn_ = 0;    // last decodable LSN found by the scan

@@ -1,0 +1,33 @@
+#include "obs/health.h"
+
+namespace doradb {
+namespace obs {
+
+EngineHealth& EngineHealth::Default() {
+  static EngineHealth* instance = new EngineHealth();
+  return *instance;
+}
+
+void EngineHealth::Degrade(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (reason_.empty()) reason_ = reason;
+  }
+  degraded_.store(true, std::memory_order_release);
+}
+
+void EngineHealth::Reset() {
+  degraded_.store(false, std::memory_order_release);
+  io_retries_.store(0, std::memory_order_relaxed);
+  io_errors_.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> g(mu_);
+  reason_.clear();
+}
+
+std::string EngineHealth::reason() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return reason_;
+}
+
+}  // namespace obs
+}  // namespace doradb

@@ -1,0 +1,76 @@
+// EngineHealth: process-wide degradation latch + durability fault counters.
+//
+// The durability path (WAL storage, DiskManager, CatalogStore) reports
+// persistent media failure here instead of aborting the process. The latch
+// is one-way per lifetime: the first Degrade() wins and pins its reason;
+// Reset() exists for tests and for a fresh Database lifetime reopening
+// over healed media.
+//
+// Consumers:
+//  * Database::Commit / the DORA commit pipeline check state() and fail
+//    new logged commits with Status::Unavailable while degraded — reads
+//    (and read-only commits, which never touch the log) keep serving.
+//  * The watchdog folds a degraded state into /healthz (503) and the
+//    blackbox dump.
+//  * Database registers `engine.health_state` (gauge: 0 ok, 1 degraded),
+//    `log.io_retries` and `log.io_errors` (counters) over these atomics,
+//    so every stats snapshot carries them.
+//
+// The counters are bumped unconditionally (not gated on MetricsEnabled):
+// retries and hard I/O errors are rare and already syscall-priced, and the
+// chaos CI asserts on them with metrics both on and off.
+
+#ifndef DORADB_OBS_HEALTH_H_
+#define DORADB_OBS_HEALTH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace doradb {
+namespace obs {
+
+enum class HealthState : uint8_t { kOk = 0, kDegraded = 1 };
+
+class EngineHealth {
+ public:
+  static EngineHealth& Default();
+
+  // Latch the degraded state. The first caller's reason sticks (it names
+  // the root fault; later failures are usually fallout).
+  void Degrade(const std::string& reason);
+
+  // Back to healthy; clears reason and counters. Tests / fresh lifetimes.
+  void Reset();
+
+  HealthState state() const {
+    return degraded_.load(std::memory_order_acquire) ? HealthState::kDegraded
+                                                     : HealthState::kOk;
+  }
+  bool degraded() const { return degraded_.load(std::memory_order_acquire); }
+  std::string reason() const;
+
+  void CountRetry() { io_retries_.fetch_add(1, std::memory_order_relaxed); }
+  void CountIOError() { io_errors_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t io_retries() const {
+    return io_retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_errors() const {
+    return io_errors_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  EngineHealth() = default;
+
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> io_retries_{0};
+  std::atomic<uint64_t> io_errors_{0};
+  mutable std::mutex mu_;  // guards reason_ only
+  std::string reason_;
+};
+
+}  // namespace obs
+}  // namespace doradb
+
+#endif  // DORADB_OBS_HEALTH_H_

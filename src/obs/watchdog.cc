@@ -12,6 +12,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "obs/health.h"
 #include "obs/heartbeat.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
@@ -65,9 +66,13 @@ void CrashHandler(int sig) {
 std::string Watchdog::Health::ToJson() const {
   std::string out = "{\"ok\":";
   out += ok ? "true" : "false";
-  char buf[64];
-  snprintf(buf, sizeof(buf), ",\"threads\":%zu,\"dumps\":%llu", threads,
-           static_cast<unsigned long long>(dumps));
+  char buf[160];
+  snprintf(buf, sizeof(buf),
+           ",\"threads\":%zu,\"dumps\":%llu,\"health_state\":%d"
+           ",\"io_retries\":%llu,\"io_errors\":%llu",
+           threads, static_cast<unsigned long long>(dumps), degraded ? 1 : 0,
+           static_cast<unsigned long long>(io_retries),
+           static_cast<unsigned long long>(io_errors));
   out += buf;
   out += ",\"complaints\":[";
   for (size_t i = 0; i < complaints.size(); ++i) {
@@ -166,6 +171,18 @@ Watchdog::Health Watchdog::Check() {
       h.complaints.push_back(buf);
     }
   }
+  // Engine health latch: a degraded engine (poisoned log/page medium) is
+  // unhealthy even with every thread beating on time — commits are failing
+  // Unavailable, and /healthz must say 503 so writers get routed away.
+  auto& eh = EngineHealth::Default();
+  if (eh.degraded()) {
+    h.degraded = true;
+    h.degraded_reason = eh.reason();
+    h.complaints.push_back("engine degraded (read-only): " +
+                           h.degraded_reason);
+  }
+  h.io_retries = eh.io_retries();
+  h.io_errors = eh.io_errors();
   h.ok = h.complaints.empty();
   h.dumps = dumps_.load(std::memory_order_relaxed);
   return h;

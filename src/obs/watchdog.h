@@ -54,6 +54,13 @@ class Watchdog {
     std::vector<std::string> complaints;
     size_t threads = 0;    // registered heartbeats at check time
     uint64_t dumps = 0;    // blackbox reports written so far
+    // Engine health latch (obs/health.h): a degraded engine serves reads
+    // but fails logged commits Unavailable — /healthz reports 503 so
+    // orchestration stops routing writes here.
+    bool degraded = false;
+    std::string degraded_reason;
+    uint64_t io_retries = 0;  // transient storage errors retried away
+    uint64_t io_errors = 0;   // storage errors that exhausted retries
     std::string ToJson() const;
   };
 

@@ -59,7 +59,7 @@ void LogPartition::Flush(bool force_watermark) {
   const bool metrics = obs::MetricsEnabled();
   {
     std::lock_guard<std::mutex> g(stable_mu_);
-    if (killed_) return;
+    if (killed_ || poisoned_.load(std::memory_order_relaxed)) return;
     std::vector<uint8_t> pending;
     Lsn horizon, batch_gsn;
     {
@@ -72,7 +72,13 @@ void LogPartition::Flush(bool force_watermark) {
     }
     if (!pending.empty()) {
       ScopedTimeClass timer(TimeClass::kLogWork);
-      stable_->AppendBatch(pending.data(), pending.size(), batch_gsn);
+      if (!stable_->AppendBatch(pending.data(), pending.size(), batch_gsn)
+               .ok()) {
+        // Persistent write failure (the storage latched itself poisoned):
+        // the watermark freezes here and waiters fail Unavailable.
+        poisoned_.store(true, std::memory_order_release);
+        return;
+      }
       flushes_.fetch_add(1, std::memory_order_relaxed);
       flushed_bytes = pending.size();
     }
@@ -93,7 +99,12 @@ void LogPartition::Flush(bool force_watermark) {
       ScopedTimeClass timer(TimeClass::kLogWork);
       const bool time_sync = metrics && stable_->durable();
       const uint64_t t0 = time_sync ? Cycles::Now() : 0;
-      stable_->Sync(horizon);
+      if (!stable_->Sync(horizon).ok()) {
+        // fsyncgate rule: one failed durability point freezes the
+        // watermark permanently — never re-ack over a failed fsync.
+        poisoned_.store(true, std::memory_order_release);
+        return;
+      }
       if (time_sync) {
         sync_ns = static_cast<uint64_t>(Cycles::ToNanos(Cycles::Now() - t0));
         synced = true;
@@ -185,7 +196,7 @@ void LogPartition::PartialFlushTorn(size_t bytes) {
   bytes = std::min(bytes, buffer_.size());
   // kInvalidLsn batch GSN: the receiving segment may hold a torn record,
   // so it must never be unlinked on the strength of a known max GSN.
-  stable_->AppendBatch(buffer_.data(), bytes, kInvalidLsn);
+  (void)stable_->AppendBatch(buffer_.data(), bytes, kInvalidLsn);
   buffer_.clear();
 }
 

@@ -41,6 +41,11 @@ class LogPartition {
                     ? std::move(storage)
                     : std::make_unique<MemoryLogStorage>()) {
     buffer_.reserve(1 << 18);
+    // Born poisoned (open-time media failure): reads/recovery still work,
+    // but the watermark will never advance.
+    if (stable_->poisoned()) {
+      poisoned_.store(true, std::memory_order_release);
+    }
   }
   explicit LogPartition(GsnClock* clock) : LogPartition(clock, nullptr) {}
   LogPartition(const LogPartition&) = delete;
@@ -74,6 +79,12 @@ class LogPartition {
 
   // All records of this partition with GSN <= watermark() are stable.
   Lsn watermark() const { return watermark_.load(std::memory_order_acquire); }
+
+  // True once the stable stream latched a persistent I/O failure (failed
+  // fsync or exhausted write retries). The watermark is frozen: it can
+  // never advance again, so any wait gating on a GSN above it must fail
+  // Unavailable instead of spinning.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
 
   // Cold-start (file-backed stream recovered from a previous lifetime):
   // derive the partition's durability claim — the larger of the persisted
@@ -163,6 +174,7 @@ class LogPartition {
   const std::unique_ptr<LogStorage> stable_;
   std::atomic<Lsn> watermark_{0};  // written only under stable_mu_
   bool killed_ = false;            // under stable_mu_
+  std::atomic<bool> poisoned_{false};  // set under stable_mu_, one-way
 
   uint32_t idle_skip_limit_ = 0;  // 0 = never skip
   uint32_t idle_skips_ = 0;       // consecutive skips so far (under stable_mu_)

@@ -129,14 +129,14 @@ uint32_t PartitionedLogManager::CurrentPartition() const {
 
 Lsn PartitionedLogManager::Append(LogRecord* rec) {
   const Lsn gsn = partitions_[LocalIndex()]->Append(rec);
-  if (options_.log.synchronous) WaitFlushed(gsn);
+  if (options_.log.synchronous) (void)WaitFlushed(gsn);
   return gsn;
 }
 
 Lsn PartitionedLogManager::AppendBulk(LogRecord* const* recs, size_t n) {
   if (n == 0) return kInvalidLsn;
   const Lsn last = partitions_[LocalIndex()]->AppendBulk(recs, n);
-  if (options_.log.synchronous) WaitFlushed(last);
+  if (options_.log.synchronous) (void)WaitFlushed(last);
   return last;
 }
 
@@ -148,22 +148,30 @@ Lsn PartitionedLogManager::flushed_lsn() const {
   return h;
 }
 
-void PartitionedLogManager::WaitFlushed(Lsn lsn) {
-  if (flushed_lsn() >= lsn) return;
+Status PartitionedLogManager::WaitFlushed(Lsn lsn) {
+  if (flushed_lsn() >= lsn) return Status::OK();
   // Self-service group commit across partitions: flush only the laggards;
   // one pass typically covers every record buffered so far system-wide.
   // (Flush() attributes its own copy work; the nap is idle, not log work.)
   for (;;) {
     for (auto& p : partitions_) {
-      if (p->watermark() < lsn) p->Flush();
+      if (p->watermark() < lsn) {
+        p->Flush();
+        // A poisoned partition's watermark is frozen: if it still gates
+        // `lsn`, the global horizon can never get there — bail with the
+        // typed error rather than spin on an unreachable durability point.
+        if (p->poisoned() && p->watermark() < lsn) {
+          return Status::Unavailable("log: partition stream poisoned");
+        }
+      }
     }
-    if (flushed_lsn() >= lsn) return;
+    if (flushed_lsn() >= lsn) return Status::OK();
     NapMicros(options_.log.flush_interval_us);
   }
 }
 
-void PartitionedLogManager::WaitFlushedFrom(uint32_t partition_hint,
-                                            Lsn lsn) {
+Status PartitionedLogManager::WaitFlushedFrom(uint32_t partition_hint,
+                                              Lsn lsn) {
   // Flush the record's own partition eagerly, then fall through to the
   // shared laggard sweep. Other partitions normally advance on their own
   // flushers, but an IDLE partition may be deferring its watermark-only
@@ -171,7 +179,7 @@ void PartitionedLogManager::WaitFlushedFrom(uint32_t partition_hint,
   // through rather than poll the horizon forever.
   LogPartition* own = partitions_[partition_hint % partitions_.size()].get();
   if (own->watermark() < lsn) own->Flush();
-  WaitFlushed(lsn);
+  return WaitFlushed(lsn);
 }
 
 void PartitionedLogManager::DiscardVolatileTail() {

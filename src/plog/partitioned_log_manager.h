@@ -65,9 +65,9 @@ class PartitionedLogManager final : public LogBackend {
 
   Lsn Append(LogRecord* rec) override;
   Lsn AppendBulk(LogRecord* const* recs, size_t n) override;
-  void WaitFlushed(Lsn lsn) override;
-  void FlushTo(Lsn lsn) override { WaitFlushed(lsn); }
-  void WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) override;
+  Status WaitFlushed(Lsn lsn) override;
+  Status FlushTo(Lsn lsn) override { return WaitFlushed(lsn); }
+  Status WaitFlushedFrom(uint32_t partition_hint, Lsn lsn) override;
 
   Lsn flushed_lsn() const override;
   Lsn current_lsn() const override { return clock_.last_issued(); }

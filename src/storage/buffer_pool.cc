@@ -105,7 +105,10 @@ bool BufferPool::AllocateFrame(size_t* out_idx) {
     // Victim found: write back if dirty, then unmap.
     if (f.dirty.load(std::memory_order_relaxed)) {
       const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(idx));
-      if (wal_flush_) wal_flush_(hdr->page_lsn);
+      // WAL rule under failure: if the log cannot become durable through
+      // this page's LSN (poisoned stream), the page must not be stolen —
+      // keep scanning for a clean victim instead.
+      if (wal_flush_ && !wal_flush_(hdr->page_lsn)) continue;
       disk_->WritePage(f.page_id, FrameData(idx));
       CleanFrame(f);
     }
@@ -171,7 +174,9 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (f.dirty.load(std::memory_order_relaxed)) {
     const auto* hdr =
         reinterpret_cast<const PageHeaderBase*>(FrameData(it->second));
-    if (wal_flush_) wal_flush_(hdr->page_lsn);
+    if (wal_flush_ && !wal_flush_(hdr->page_lsn)) {
+      return Status::Unavailable("wal: flush horizon unreachable");
+    }
     DORADB_RETURN_NOT_OK(disk_->WritePage(page_id, FrameData(it->second)));
     CleanFrame(f);
   }
@@ -187,7 +192,9 @@ Status BufferPool::FlushAll() {
       continue;
     }
     const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(i));
-    if (wal_flush_) wal_flush_(hdr->page_lsn);
+    if (wal_flush_ && !wal_flush_(hdr->page_lsn)) {
+      return Status::Unavailable("wal: flush horizon unreachable");
+    }
     DORADB_RETURN_NOT_OK(disk_->WritePage(f.page_id, FrameData(i)));
     CleanFrame(f);
   }
@@ -229,8 +236,13 @@ Status BufferPool::FlushPartition(uint32_t partition, bool all_partitions,
       // page version, and nobody can re-dirty it until we unlatch — so
       // clearing the dirty metadata after the write is race-free.
       const auto* hdr = reinterpret_cast<const PageHeaderBase*>(FrameData(i));
-      if (wal_flush_) wal_flush_(hdr->page_lsn);
-      s = disk_->WritePage(pid, FrameData(i));
+      if (wal_flush_ && !wal_flush_(hdr->page_lsn)) {
+        // Abort the scan: the caller's checkpoint must not publish a
+        // horizon computed from a flush that could not complete.
+        s = Status::Unavailable("wal: flush horizon unreachable");
+      } else {
+        s = disk_->WritePage(pid, FrameData(i));
+      }
       if (s.ok()) {
         CleanFrame(f);
         ++scan->pages_flushed;

@@ -98,8 +98,13 @@ class BufferPool {
   BufferPool(DiskManager* disk, size_t num_frames);
   ~BufferPool();
 
-  // Called with the page LSN before any dirty page write-back.
-  void SetWalFlushCallback(std::function<void(Lsn)> cb) {
+  // Called with the page LSN before any dirty page write-back. Returns
+  // true once the log is durable through that LSN. Returning false means
+  // the flush horizon cannot reach it (poisoned log stream): the WAL rule
+  // then forbids the write-back — eviction skips the victim, explicit
+  // flushes fail Unavailable — because a stolen page whose records never
+  // became durable would survive a crash with no log to undo it.
+  void SetWalFlushCallback(std::function<bool(Lsn)> cb) {
     wal_flush_ = std::move(cb);
   }
 
@@ -195,7 +200,7 @@ class BufferPool {
   std::unordered_map<PageId, size_t> page_table_;
   size_t clock_hand_ = 0;
 
-  std::function<void(Lsn)> wal_flush_;
+  std::function<bool(Lsn)> wal_flush_;
   std::function<uint32_t()> partition_of_thread_;
 
   std::atomic<uint64_t> hits_{0};

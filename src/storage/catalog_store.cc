@@ -9,11 +9,18 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/health.h"
+#include "util/clock.h"
 #include "util/crc32.h"
+#include "util/fault_injector.h"
 
 namespace doradb {
 
 namespace {
+
+// Same transient-error policy as the WAL segment layer and the page store.
+constexpr int kIoRetries = 3;
+constexpr uint64_t kRetryBackoffUs = 200;
 
 void Put16(std::vector<uint8_t>* out, uint16_t v) {
   out->push_back(static_cast<uint8_t>(v));
@@ -192,22 +199,38 @@ Status CatalogStore::Save(const CatalogImage& img) {
   Serialize(img, &bytes);
 
   const std::string tmp = path_ + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      FaultInjector::Default().Open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
+    obs::EngineHealth::Default().CountIOError();
     return Status::IOError("catalog: open failed: " + tmp + ": " +
                            std::strerror(errno));
   }
   size_t put = 0;
+  int attempts = 0;
   while (put < bytes.size()) {
-    const ssize_t w = ::write(fd, bytes.data() + put, bytes.size() - put);
-    if (w <= 0) {
+    const ssize_t w = FaultInjector::Default().Pwrite(
+        fd, bytes.data() + put, bytes.size() - put, static_cast<off_t>(put),
+        tmp.c_str());
+    if (w > 0) {
+      put += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    if (attempts >= kIoRetries) {
+      obs::EngineHealth::Default().CountIOError();
       ::close(fd);
       ::unlink(tmp.c_str());
       return Status::IOError("catalog: write failed: " + tmp);
     }
-    put += static_cast<size_t>(w);
+    obs::EngineHealth::Default().CountRetry();
+    NapMicros(kRetryBackoffUs << attempts);
+    ++attempts;
   }
-  if (::fsync(fd) != 0) {
+  // The tmp file is fresh, so this fsync vouches for nothing yet — a
+  // failure is an ordinary rollback-able error, not a poison event.
+  if (FaultInjector::Default().Fsync(fd, tmp.c_str()) != 0) {
+    obs::EngineHealth::Default().CountIOError();
     ::close(fd);
     ::unlink(tmp.c_str());
     return Status::IOError("catalog: fsync failed: " + tmp);
@@ -228,17 +251,20 @@ Status CatalogStore::Save(const CatalogImage& img) {
     return Status::IOError("catalog: rename failed: " + path_);
   }
   // Persist the directory entry so the rename survives power loss. The
-  // rename has already replaced catalog.db, so a failure HERE cannot be
-  // reported as an error: the caller would roll its DDL back in memory
-  // while the new schema is (probably) durable on disk, and the two views
-  // would diverge. Durability is no longer reasonable to claim either
-  // way — fail fast, like the storage layer's media do (disk_manager
-  // open, segment rename).
-  if (::fsync(dfd) != 0) {
-    std::fprintf(stderr,
-                 "catalog: directory fsync failed after rename: %s: %s\n",
-                 dir_.c_str(), std::strerror(errno));
-    std::abort();
+  // rename has already replaced catalog.db, so a failure HERE is past the
+  // point of clean rollback: the caller will undo its DDL in memory while
+  // the new schema is (probably) durable on disk. Degrade the engine —
+  // the divergence cannot compound once DDL and commits stop — and return
+  // the error; the next lifetime reloads whichever file the medium kept.
+  if (FaultInjector::Default().Fsync(dfd, dir_.c_str()) != 0) {
+    ::close(dfd);
+    const Status s = Status::IOError(
+        "catalog: directory fsync failed after rename: " + dir_ + ": " +
+        std::strerror(errno));
+    obs::EngineHealth::Default().CountIOError();
+    obs::EngineHealth::Default().Degrade(s.ToString());
+    std::fprintf(stderr, "catalog: degraded: %s\n", s.ToString().c_str());
+    return s;
   }
   ::close(dfd);
   return Status::OK();

@@ -9,11 +9,21 @@
 #include <cstring>
 #include <filesystem>
 
+#include "obs/health.h"
 #include "obs/metrics.h"
 #include "util/clock.h"
+#include "util/fault_injector.h"
 #include "util/sync_stats.h"
 
 namespace doradb {
+
+namespace {
+// Transient-error policy for the page store, matching the WAL's segment
+// layer: EINTR retries free, other pwrite errors get a few backed-off
+// attempts before the write is declared failed.
+constexpr int kIoRetries = 3;
+constexpr uint64_t kRetryBackoffUs = 200;
+}  // namespace
 
 DiskManager::DiskManager(uint64_t simulated_latency_ns)
     : simulated_latency_ns_(simulated_latency_ns) {}
@@ -25,15 +35,16 @@ DiskManager::DiskManager(const std::string& data_dir,
   std::error_code ec;
   std::filesystem::create_directories(data_dir, ec);
   path_ = data_dir + "/pages.db";
-  fd_ = ::open(path_.c_str(), O_RDWR | O_CREAT, 0644);
+  fd_ = FaultInjector::Default().Open(path_.c_str(), O_RDWR | O_CREAT, 0644);
   if (fd_ < 0) {
-    // Fail fast, like the WAL's segment layer: durable mode was requested,
-    // and silently degrading to memory pages while checkpoints keep
-    // truncating the file-backed log would lose committed data without a
-    // single error surfacing.
-    std::fprintf(stderr, "disk_manager: open failed for %s: %s\n",
-                 path_.c_str(), std::strerror(errno));
-    std::abort();
+    // Durable mode was requested and the medium refused it. Silently
+    // falling back to memory pages — while checkpoints keep truncating the
+    // file-backed log — would lose committed data without a single error
+    // surfacing; aborting would take reads down with the writes. Degrade
+    // instead: every page I/O on this store fails with the parked error.
+    Poison(Status::IOError("pages: open failed: " + path_ + ": " +
+                           std::strerror(errno)));
+    return;
   }
   const off_t size = ::lseek(fd_, 0, SEEK_END);
   if (size > 0) {
@@ -44,7 +55,14 @@ DiskManager::DiskManager(const std::string& data_dir,
 
 DiskManager::~DiskManager() {
   if (fd_ >= 0) {
-    ::fdatasync(fd_);
+    // Close-time sync failure cannot be returned; at least count and log
+    // it instead of silently losing the last flushed pages.
+    if (::fdatasync(fd_) != 0 && !poisoned_) {
+      obs::EngineHealth::Default().CountIOError();
+      std::fprintf(stderr,
+                   "disk_manager: close-time fdatasync failed for %s: %s\n",
+                   path_.c_str(), std::strerror(errno));
+    }
     ::close(fd_);
   }
 }
@@ -105,7 +123,21 @@ void DiskManager::SimulateLatency() {
   }
 }
 
+Status DiskManager::Poison(Status s) {
+  // One-way latch, first error wins (later failures keep their counters).
+  obs::EngineHealth::Default().CountIOError();
+  if (!poisoned_) {
+    poisoned_ = true;
+    io_status_ = s;
+    obs::EngineHealth::Default().Degrade(io_status_.ToString());
+    std::fprintf(stderr, "disk_manager: degraded: %s\n",
+                 io_status_.ToString().c_str());
+  }
+  return io_status_;
+}
+
 Status DiskManager::ReadPage(PageId page_id, void* out) {
+  if (poisoned_ && fd_ < 0) return io_status_;  // born poisoned: no medium
   if (fd_ >= 0) {
     if (page_id >= end_page_id()) {
       return Status::IOError("page beyond device size");
@@ -136,6 +168,7 @@ Status DiskManager::ReadPage(PageId page_id, void* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const void* data) {
+  if (poisoned_) return io_status_;
   if (fd_ >= 0) {
     if (page_id >= end_page_id()) {
       return Status::IOError("page beyond device size");
@@ -143,12 +176,27 @@ Status DiskManager::WritePage(PageId page_id, const void* data) {
     SimulateLatency();
     const uint8_t* src = static_cast<const uint8_t*>(data);
     size_t put = 0;
+    int attempts = 0;
     const off_t base = static_cast<off_t>(page_id) * kPageSize;
+    // Short writes continue from the written prefix; EINTR retries free;
+    // other errors get bounded backed-off retries before failing the page.
     while (put < kPageSize) {
-      const ssize_t w = ::pwrite(fd_, src + put, kPageSize - put,
-                                 base + static_cast<off_t>(put));
-      if (w <= 0) return Status::IOError("pwrite failed: " + path_);
-      put += static_cast<size_t>(w);
+      const ssize_t w = FaultInjector::Default().Pwrite(
+          fd_, src + put, kPageSize - put, base + static_cast<off_t>(put),
+          path_.c_str());
+      if (w > 0) {
+        put += static_cast<size_t>(w);
+        continue;
+      }
+      if (w < 0 && errno == EINTR) continue;
+      if (attempts >= kIoRetries) {
+        obs::EngineHealth::Default().CountIOError();
+        return Status::IOError("pages: pwrite failed: " + path_ + ": " +
+                               std::strerror(w < 0 ? errno : EIO));
+      }
+      obs::EngineHealth::Default().CountRetry();
+      NapMicros(kRetryBackoffUs << attempts);
+      ++attempts;
     }
     writes_.fetch_add(1, std::memory_order_relaxed);
     DurabilityStats::Count(kPageStoreStream,
@@ -164,11 +212,17 @@ Status DiskManager::WritePage(PageId page_id, const void* data) {
 }
 
 Status DiskManager::Sync() {
+  if (poisoned_) return io_status_;
   if (fd_ < 0) return Status::OK();
   const bool metrics = obs::MetricsEnabled();
   const uint64_t t0 = metrics ? Cycles::Now() : 0;
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError("fdatasync failed: " + path_);
+  // fsyncgate rule, same as the WAL's segment layer: after a failed
+  // fdatasync the kernel may have marked dirty pages clean, so a retried
+  // "success" proves nothing about the pages this sync was vouching for.
+  // Latch the store failed — checkpoints stop publishing horizons over it.
+  if (FaultInjector::Default().Fdatasync(fd_, path_.c_str()) != 0) {
+    return Poison(Status::IOError("pages: fdatasync failed: " + path_ + ": " +
+                                  std::strerror(errno)));
   }
   if (metrics) {
     static Histogram* h = obs::MetricsRegistry::Default().GetHistogram(

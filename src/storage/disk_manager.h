@@ -58,6 +58,13 @@ class DiskManager {
 
   bool file_backed() const { return fd_ >= 0; }
 
+  // Failed-store latch: set when durable mode could not open its file or a
+  // page-store fdatasync failed (fsyncgate: a retry proving nothing, the
+  // store stops vouching for its pages). Writes and syncs return the
+  // parked error; reads keep serving whenever the medium still answers.
+  bool poisoned() const { return poisoned_; }
+  const Status& io_status() const { return io_status_; }
+
   uint64_t NumAllocated() const {
     return allocated_.load(std::memory_order_relaxed);
   }
@@ -76,6 +83,10 @@ class DiskManager {
 
   void SimulateLatency();
 
+  // Latch the store failed (one-way), report degraded engine health, and
+  // return the parked error for the caller to propagate.
+  Status Poison(Status s);
+
   mutable std::mutex mu_;  // guards extent growth + free list
   std::vector<std::unique_ptr<uint8_t[]>> extents_;
   std::vector<PageId> free_list_;
@@ -83,6 +94,8 @@ class DiskManager {
 
   int fd_ = -1;  // pages.db (file-backed mode only)
   std::string path_;
+  bool poisoned_ = false;
+  Status io_status_;
 
   std::atomic<uint64_t> allocated_{0};
   std::atomic<uint64_t> reads_{0};

@@ -1,0 +1,126 @@
+#include "util/fault_injector.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <cstdlib>
+
+namespace doradb {
+
+namespace {
+
+FaultPlan PlanFromEnv() {
+  FaultPlan plan;
+  const char* op = std::getenv("DORADB_FAULT_OP");
+  if (op == nullptr || *op == '\0') return plan;
+  if (strcmp(op, "pwrite") == 0) {
+    plan.op = FaultOp::kPwrite;
+  } else if (strcmp(op, "fdatasync") == 0 || strcmp(op, "fsync") == 0) {
+    plan.op = FaultOp::kFdatasync;
+  } else if (strcmp(op, "open") == 0) {
+    plan.op = FaultOp::kOpen;
+  } else {
+    return plan;  // unknown op: stay disarmed rather than fault wrongly
+  }
+  plan.err = EIO;
+  if (const char* err = std::getenv("DORADB_FAULT_ERR")) {
+    if (strcmp(err, "enospc") == 0) plan.err = ENOSPC;
+  }
+  if (const char* nth = std::getenv("DORADB_FAULT_NTH")) {
+    const long long v = atoll(nth);
+    if (v > 0) plan.nth = static_cast<uint64_t>(v);
+  }
+  if (const char* sticky = std::getenv("DORADB_FAULT_STICKY")) {
+    plan.sticky = atoi(sticky) != 0;
+  }
+  if (const char* mode = std::getenv("DORADB_FAULT_MODE")) {
+    if (strcmp(mode, "short") == 0) plan.mode = FaultMode::kShortWrite;
+    if (strcmp(mode, "torn") == 0) plan.mode = FaultMode::kTorn;
+  }
+  if (const char* path = std::getenv("DORADB_FAULT_PATH")) {
+    plan.path_substr = path;
+  }
+  return plan;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  for (auto& c : count_) c.store(0, std::memory_order_relaxed);
+  const FaultPlan env = PlanFromEnv();
+  if (env.op != FaultOp::kNone) Arm(env);
+}
+
+FaultInjector& FaultInjector::Default() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+void FaultInjector::Arm(const FaultPlan& plan) {
+  armed_.store(false, std::memory_order_release);
+  plan_ = plan;
+  for (auto& c : count_) c.store(0, std::memory_order_relaxed);
+  injected_.store(0, std::memory_order_relaxed);
+  armed_.store(plan.op != FaultOp::kNone, std::memory_order_release);
+}
+
+bool FaultInjector::ShouldFault(FaultOp op, const char* path) {
+  if (!armed_.load(std::memory_order_acquire)) return false;
+  if (plan_.op != op) return false;
+  if (!plan_.path_substr.empty() &&
+      (path == nullptr ||
+       strstr(path, plan_.path_substr.c_str()) == nullptr)) {
+    return false;
+  }
+  const uint64_t seq =
+      count_[static_cast<int>(op)].fetch_add(1, std::memory_order_relaxed) + 1;
+  const bool hit = plan_.sticky ? seq >= plan_.nth : seq == plan_.nth;
+  if (hit) injected_.fetch_add(1, std::memory_order_relaxed);
+  return hit;
+}
+
+ssize_t FaultInjector::Pwrite(int fd, const void* buf, size_t n, off_t off,
+                              const char* path) {
+  if (ShouldFault(FaultOp::kPwrite, path)) {
+    const FaultMode mode = plan_.mode;
+    if (mode == FaultMode::kShortWrite || mode == FaultMode::kTorn) {
+      // Really land a prefix so the medium holds a torn record. A 1-byte
+      // write has no shorter prefix: short-write mode passes it through
+      // whole (a 0-byte success would spin correct retry loops).
+      const size_t half = n > 1 ? n / 2 : n;
+      const ssize_t w = ::pwrite(fd, buf, half, off);
+      if (mode == FaultMode::kShortWrite) return w;
+    }
+    errno = plan_.err;
+    return -1;
+  }
+  return ::pwrite(fd, buf, n, off);
+}
+
+int FaultInjector::Fdatasync(int fd, const char* path) {
+  if (ShouldFault(FaultOp::kFdatasync, path)) {
+    errno = plan_.err;
+    return -1;
+  }
+  return ::fdatasync(fd);
+}
+
+int FaultInjector::Fsync(int fd, const char* path) {
+  if (ShouldFault(FaultOp::kFdatasync, path)) {
+    errno = plan_.err;
+    return -1;
+  }
+  return ::fsync(fd);
+}
+
+int FaultInjector::Open(const char* path, int flags, mode_t mode) {
+  if (ShouldFault(FaultOp::kOpen, path)) {
+    errno = plan_.err;
+    return -1;
+  }
+  return ::open(path, flags, mode);
+}
+
+}  // namespace doradb

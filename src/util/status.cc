@@ -19,6 +19,7 @@ const char* CamelCodeName(Status::Code code) {
     case Status::Code::kCorruption: return "Corruption";
     case Status::Code::kNotSupported: return "NotSupported";
     case Status::Code::kIOError: return "IOError";
+    case Status::Code::kUnavailable: return "Unavailable";
   }
   return "Unknown";
 }

@@ -28,6 +28,7 @@ class Status {
     kCorruption = 9,     // integrity check failed
     kNotSupported = 10,
     kIOError = 11,
+    kUnavailable = 12,   // service degraded (e.g. log media poisoned)
   };
 
   Status() : code_(Code::kOk) {}
@@ -66,6 +67,9 @@ class Status {
   static Status IOError(std::string msg = "") {
     return Status(Code::kIOError, std::move(msg));
   }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -76,6 +80,8 @@ class Status {
   bool IsBusy() const { return code_ == Code::kBusy; }
   bool IsFull() const { return code_ == Code::kFull; }
   bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   // True for any condition that must abort the enclosing transaction.
   bool ForcesAbort() const {
@@ -103,6 +109,7 @@ class Status {
       case Code::kCorruption: return "corruption";
       case Code::kNotSupported: return "not_supported";
       case Code::kIOError: return "io_error";
+      case Code::kUnavailable: return "unavailable";
     }
     return "unknown";
   }

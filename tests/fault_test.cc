@@ -1,0 +1,441 @@
+// Storage fault-injection tests: the three-tier error policy end to end.
+//
+//  1. Transient pwrite errors (ENOSPC/EIO once, short writes) are retried
+//     or continued away — the commit succeeds and the engine stays healthy.
+//  2. A failed fsync poisons the stream permanently (fsyncgate): the
+//     in-flight commit fails indeterminate, later logged commits fail
+//     Unavailable, reads and read-only commits keep serving, and /healthz
+//     turns 503 — while every commit acked BEFORE the fault survives a
+//     reopen over the same directory.
+//  3. Torn writes (media died mid-record) are trimmed by recovery on both
+//     WAL backends: after reopen no acked commit is lost.
+//  4. A failed open degrades instead of aborting the process.
+//  5. A randomized chaos crash loop arms arbitrary fault plans across
+//     process lifetimes and checks the durability contract each time.
+//
+// EngineHealth and FaultInjector are process singletons: every test resets
+// the injector on exit (guard below), and each Database construction
+// resets the health latch, so tests stay independent inside one binary.
+
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "obs/health.h"
+#include "obs/watchdog.h"
+#include "util/fault_injector.h"
+#include "util/rng.h"
+
+namespace doradb {
+namespace {
+
+std::string TempFaultDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "doradb_fault_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+// Disarm on every exit path so a failing assertion cannot leak an armed
+// plan into the next test.
+struct InjectorGuard {
+  InjectorGuard() { FaultInjector::Default().Reset(); }
+  ~InjectorGuard() { FaultInjector::Default().Reset(); }
+};
+
+Database::Options DurableOpts(const std::string& dir, LogBackendKind kind,
+                              uint32_t parts = 2) {
+  Database::Options o;
+  o.buffer_frames = 512;
+  o.data_dir = dir;
+  o.log_backend = kind;
+  o.log_partitions = parts;
+  // Long flusher naps keep I/O commit-driven, so Arm() between synchronous
+  // commits happens at a quiesced moment, as its contract requires.
+  o.log.flush_interval_us = 200000;
+  o.log_segment_bytes = 4096;
+  return o;
+}
+
+FaultPlan WalPlan(FaultOp op, FaultMode mode = FaultMode::kError,
+                  int err = EIO, bool sticky = false, uint64_t nth = 1) {
+  FaultPlan p;
+  p.op = op;
+  p.mode = mode;
+  p.err = err;
+  p.sticky = sticky;
+  p.nth = nth;
+  p.path_substr = "seg-";  // WAL segment files only, both backends
+  return p;
+}
+
+Status CommitValue(Database* db, TableId table, const Rid& rid,
+                   const std::string& value) {
+  auto txn = db->Begin();
+  const Status u =
+      db->Update(txn.get(), table, rid, value, AccessOptions::Baseline());
+  if (!u.ok()) {
+    (void)db->Abort(txn.get());
+    return u;
+  }
+  return db->Commit(txn.get());
+}
+
+// ------------------------------------------------ tier 1: transient errors
+
+TEST(FaultTest, TransientPwriteErrorIsRetriedAway) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("transient_enospc");
+  auto db = std::make_unique<Database>(
+      DurableOpts(dir, LogBackendKind::kPartitioned));
+  db->log_manager()->BindThisThread(0);
+  TableId table;
+  ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+  Rid rid;
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(db->Insert(txn.get(), table, "base", &rid,
+                           AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+
+  // One ENOSPC on the next WAL pwrite; the bounded-retry loop re-issues
+  // the write and the commit must still succeed with the engine healthy.
+  FaultInjector::Default().Arm(
+      WalPlan(FaultOp::kPwrite, FaultMode::kError, ENOSPC));
+  ASSERT_TRUE(CommitValue(db.get(), table, rid, "v-after-enospc").ok());
+  EXPECT_EQ(FaultInjector::Default().injected(), 1u);
+  EXPECT_GE(obs::EngineHealth::Default().io_retries(), 1u);
+  EXPECT_FALSE(obs::EngineHealth::Default().degraded());
+
+  std::string out;
+  ASSERT_TRUE(db->catalog()->Heap(table)->Get(rid, &out).ok());
+  EXPECT_EQ(out, "v-after-enospc");
+}
+
+TEST(FaultTest, ShortWriteIsContinuedNotFailed) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("short_write");
+  auto db = std::make_unique<Database>(
+      DurableOpts(dir, LogBackendKind::kPartitioned));
+  db->log_manager()->BindThisThread(0);
+  TableId table;
+  ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+  Rid rid;
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(db->Insert(txn.get(), table, "base", &rid,
+                           AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+
+  // pwrite lands half the batch and returns the count: a correct caller
+  // continues from the written prefix without burning a retry attempt.
+  FaultInjector::Default().Arm(
+      WalPlan(FaultOp::kPwrite, FaultMode::kShortWrite));
+  ASSERT_TRUE(CommitValue(db.get(), table, rid, "v-after-short").ok());
+  EXPECT_EQ(FaultInjector::Default().injected(), 1u);
+  EXPECT_EQ(obs::EngineHealth::Default().io_errors(), 0u);
+  EXPECT_FALSE(obs::EngineHealth::Default().degraded());
+}
+
+// --------------------------------- tier 2 + 3: fsyncgate poison + degrade
+
+TEST(FaultTest, StickyFsyncFailureDegradesAndPreservesAckedCommits) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("sticky_fsync");
+  const Database::Options opts =
+      DurableOpts(dir, LogBackendKind::kPartitioned);
+  auto db = std::make_unique<Database>(opts);
+  db->log_manager()->BindThisThread(0);
+  TableId table;
+  ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+
+  constexpr int kRows = 4;
+  std::vector<Rid> rids(kRows);
+  {
+    auto txn = db->Begin();
+    for (int r = 0; r < kRows; ++r) {
+      ASSERT_TRUE(db->Insert(txn.get(), table, "base", &rids[r],
+                             AccessOptions::Baseline()).ok());
+    }
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  for (int r = 0; r < kRows; ++r) {
+    ASSERT_TRUE(
+        CommitValue(db.get(), table, rids[r], "acked-" + std::to_string(r))
+            .ok());
+  }
+
+  // Every WAL fdatasync from here on fails: fsyncgate. The in-flight
+  // commit's durability wait fails — its outcome is indeterminate, so the
+  // engine must not claim it aborted cleanly, only fail it typed.
+  FaultInjector::Default().Arm(WalPlan(FaultOp::kFdatasync, FaultMode::kError,
+                                       EIO, /*sticky=*/true));
+  const Status first = CommitValue(db.get(), table, rids[0], "maybe-0");
+  EXPECT_FALSE(first.ok());
+  EXPECT_TRUE(obs::EngineHealth::Default().degraded());
+  EXPECT_GE(obs::EngineHealth::Default().io_errors(), 1u);
+
+  // Degraded entry: later logged commits fail fast with Unavailable and
+  // roll back — they never reach the poisoned stream.
+  const Status next = CommitValue(db.get(), table, rids[1], "never-1");
+  EXPECT_TRUE(next.IsUnavailable()) << next.ToString();
+
+  // Reads and read-only commits keep serving.
+  {
+    auto ro = db->Begin();
+    std::string out;
+    EXPECT_TRUE(db->Read(ro.get(), table, rids[2], &out,
+                         AccessOptions::Baseline()).ok());
+    EXPECT_EQ(out, "acked-2");
+    EXPECT_TRUE(db->Commit(ro.get()).ok());
+  }
+
+  // The watchdog folds the latch into its verdict: /healthz serves this
+  // Check() result as 503, and the counters ride the same snapshot.
+  obs::Watchdog::Health h = obs::Watchdog::Default().Check();
+  EXPECT_FALSE(h.ok);
+  EXPECT_TRUE(h.degraded);
+  EXPECT_GE(h.io_errors, 1u);
+  EXPECT_NE(h.ToJson().find("\"health_state\":1"), std::string::npos);
+  EXPECT_NE(db->Metrics().ToJson().find("engine.health_state"),
+            std::string::npos);
+
+  // Kill the lifetime, heal the medium, reopen: every commit acked before
+  // the fault must be there; rids[0] may also hold the indeterminate
+  // value (its commit record may have reached the medium).
+  db->SimulateKill();
+  db.reset();
+  FaultInjector::Default().Reset();
+  db = std::make_unique<Database>(opts);
+  ASSERT_TRUE(db->catalog_load_status().ok());
+  ASSERT_TRUE(db->Recover(nullptr).ok());
+  EXPECT_FALSE(obs::EngineHealth::Default().degraded())
+      << "fresh lifetime over healed media must start healthy";
+  table = db->catalog()->GetTable("t")->id;
+  for (int r = 0; r < kRows; ++r) {
+    std::string out;
+    ASSERT_TRUE(db->catalog()->Heap(table)->Get(rids[r], &out).ok());
+    if (r == 0) {
+      EXPECT_TRUE(out == "acked-0" || out == "maybe-0") << out;
+    } else {
+      EXPECT_EQ(out, "acked-" + std::to_string(r));
+    }
+  }
+}
+
+// ------------------------------------------- torn writes across a reopen
+
+void TornWriteThenReopen(LogBackendKind kind, const std::string& tag) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("torn_" + tag);
+  const Database::Options opts = DurableOpts(dir, kind);
+  auto db = std::make_unique<Database>(opts);
+  db->log_manager()->BindThisThread(0);
+  TableId table;
+  ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+  Rid rid;
+  {
+    auto txn = db->Begin();
+    ASSERT_TRUE(db->Insert(txn.get(), table, "base", &rid,
+                           AccessOptions::Baseline()).ok());
+    ASSERT_TRUE(db->Commit(txn.get()).ok());
+  }
+  ASSERT_TRUE(CommitValue(db.get(), table, rid, "acked").ok());
+
+  // Sticky torn writes: every WAL pwrite lands a prefix and then reports
+  // the media dead, so the retry loop cannot heal it — the stream poisons
+  // with a torn record physically on disk.
+  FaultInjector::Default().Arm(WalPlan(FaultOp::kPwrite, FaultMode::kTorn,
+                                       EIO, /*sticky=*/true));
+  const Status s = CommitValue(db.get(), table, rid, "torn");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(obs::EngineHealth::Default().degraded());
+
+  // Kill, heal, reopen: recovery must trim the torn tail and land on a
+  // state no older than the last acked commit.
+  db->SimulateKill();
+  db.reset();
+  FaultInjector::Default().Reset();
+  db = std::make_unique<Database>(opts);
+  ASSERT_TRUE(db->catalog_load_status().ok());
+  ASSERT_TRUE(db->Recover(nullptr).ok());
+  table = db->catalog()->GetTable("t")->id;
+  std::string out;
+  ASSERT_TRUE(db->catalog()->Heap(table)->Get(rid, &out).ok());
+  EXPECT_TRUE(out == "acked" || out == "torn")
+      << tag << ": row holds '" << out << "', older than its acked write";
+}
+
+TEST(FaultTest, TornWriteRecoveredOnReopenCentral) {
+  TornWriteThenReopen(LogBackendKind::kCentral, "central");
+}
+
+TEST(FaultTest, TornWriteRecoveredOnReopenPartitioned) {
+  TornWriteThenReopen(LogBackendKind::kPartitioned, "plog");
+}
+
+// ------------------------------------------------ open faults never abort
+
+TEST(FaultTest, OpenFaultDegradesInsteadOfAborting) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("open_fault");
+  // The page store cannot open: the Database must come up degraded — not
+  // call std::abort, and not silently fall back to memory pages.
+  FaultPlan plan;
+  plan.op = FaultOp::kOpen;
+  plan.err = EIO;
+  plan.sticky = true;
+  plan.path_substr = "pages.db";
+  FaultInjector::Default().Arm(plan);
+
+  auto db = std::make_unique<Database>(
+      DurableOpts(dir, LogBackendKind::kPartitioned));
+  db->log_manager()->BindThisThread(0);
+  EXPECT_TRUE(obs::EngineHealth::Default().degraded());
+
+  // Logged work fails typed, somewhere between the operation and the
+  // commit; nothing crashes and teardown is clean.
+  TableId table;
+  const Status create = db->catalog()->CreateTable("t", &table);
+  if (create.ok()) {
+    auto txn = db->Begin();
+    Rid rid;
+    Status s = db->Insert(txn.get(), table, "x", &rid,
+                          AccessOptions::Baseline());
+    if (s.ok()) s = db->Commit(txn.get());
+    else (void)db->Abort(txn.get());
+    EXPECT_FALSE(s.ok());
+  }
+  db.reset();  // destructor must tolerate the born-poisoned store
+}
+
+// ------------------------------------------------------- chaos crash loop
+
+// Randomized fault plans armed mid-round across process lifetimes; after
+// every kill + heal + reopen, each row must hold a value at least as
+// recent as its last acknowledged (Commit() returned OK) write.
+void ChaosCrashLoop(LogBackendKind kind, uint64_t seed) {
+  InjectorGuard guard;
+  Rng rng(seed * 0xA24BAED4963EE407ull + 17);
+  const std::string dir = TempFaultDir(
+      "chaos_" + std::to_string(static_cast<int>(kind)) + "_" +
+      std::to_string(seed));
+  constexpr uint32_t kPartitions = 2;
+  constexpr int kRows = 6;
+  constexpr int kTxnsPerRound = 18;
+  constexpr int kRounds = 3;
+  const Database::Options opts = DurableOpts(dir, kind, kPartitions);
+  auto db = std::make_unique<Database>(opts);
+  db->log_manager()->BindThisThread(0);
+  TableId table;
+  ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+
+  std::vector<Rid> rids(kRows);
+  {
+    auto setup = db->Begin();
+    for (int r = 0; r < kRows; ++r) {
+      ASSERT_TRUE(db->Insert(setup.get(), table, "base", &rids[r],
+                             AccessOptions::Baseline()).ok());
+    }
+    ASSERT_TRUE(db->Commit(setup.get()).ok());
+  }
+
+  struct Write {
+    std::string value;
+    bool acked;
+  };
+  std::vector<std::vector<Write>> history(kRows, {{"base", true}});
+
+  for (int round = 0; round < kRounds; ++round) {
+    // Arm one random fault plan at a random point in the round. Between
+    // synchronous commits the WAL is quiescent (long flusher naps), which
+    // is the Arm() contract.
+    const int arm_at =
+        static_cast<int>(rng.UniformInt(uint64_t{1}, kTxnsPerRound - 1));
+    for (int t = 0; t < kTxnsPerRound; ++t) {
+      if (t == arm_at) {
+        const uint64_t pick = rng.UniformInt(uint64_t{0}, 2);
+        const FaultOp op =
+            pick == 2 ? FaultOp::kFdatasync : FaultOp::kPwrite;
+        const FaultMode mode =
+            pick == 1 ? FaultMode::kTorn : FaultMode::kError;
+        FaultInjector::Default().Arm(WalPlan(
+            op, mode, rng.Percent(50) ? EIO : ENOSPC,
+            /*sticky=*/rng.Percent(50),
+            /*nth=*/rng.UniformInt(uint64_t{1}, 4)));
+      }
+      const int row = static_cast<int>(
+          rng.UniformInt(uint64_t{0}, uint64_t{kRows - 1}));
+      db->log_manager()->BindThisThread(static_cast<uint32_t>(
+          rng.UniformInt(uint64_t{0}, kPartitions - 1)));
+      const std::string value = "s" + std::to_string(seed) + "r" +
+                                std::to_string(round) + "t" +
+                                std::to_string(t);
+      auto txn = db->Begin();
+      const Status u = db->Update(txn.get(), table, rids[row], value,
+                                  AccessOptions::Baseline());
+      if (!u.ok()) {
+        (void)db->Abort(txn.get());
+        continue;  // rolled back: not even a candidate value
+      }
+      history[row].push_back(Write{value, false});
+      const Status c = db->Commit(txn.get());
+      if (c.ok()) history[row].back().acked = true;
+      // !ok: aborted or indeterminate — the value stays an unacked
+      // candidate either way (rollback can't undo past an acked commit).
+    }
+
+    // Kill this lifetime mid-whatever, heal the medium, open the next.
+    db->SimulateKill();
+    db.reset();
+    FaultInjector::Default().Reset();
+    db = std::make_unique<Database>(opts);
+    db->log_manager()->BindThisThread(0);
+    ASSERT_TRUE(db->catalog_load_status().ok())
+        << db->catalog_load_status().ToString();
+    ASSERT_NE(db->catalog()->GetTable("t"), nullptr);
+    table = db->catalog()->GetTable("t")->id;
+    ASSERT_TRUE(db->Recover(nullptr).ok());
+    EXPECT_FALSE(obs::EngineHealth::Default().degraded());
+
+    for (int row = 0; row < kRows; ++row) {
+      std::string out;
+      ASSERT_TRUE(db->catalog()->Heap(table)->Get(rids[row], &out).ok());
+      const auto& h = history[row];
+      size_t last_acked = 0;
+      for (size_t i = 0; i < h.size(); ++i) {
+        if (h[i].acked) last_acked = i;
+      }
+      bool found = false;
+      for (size_t i = last_acked; i < h.size(); ++i) {
+        if (h[i].value == out) {
+          found = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(found) << "seed " << seed << " round " << round << " row "
+                         << row << " holds '" << out
+                         << "', older than its last acked write '"
+                         << h[last_acked].value << "'";
+      history[row] = {{out, true}};
+    }
+  }
+}
+
+TEST(FaultChaosTest, CrashLoopNoAckedCommitLostPartitioned) {
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    ChaosCrashLoop(LogBackendKind::kPartitioned, seed);
+  }
+}
+
+TEST(FaultChaosTest, CrashLoopNoAckedCommitLostCentral) {
+  ChaosCrashLoop(LogBackendKind::kCentral, 1);
+}
+
+}  // namespace
+}  // namespace doradb

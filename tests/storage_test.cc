@@ -247,7 +247,10 @@ TEST_F(BufferPoolTest, AllFramesPinnedFails) {
 
 TEST_F(BufferPoolTest, WalCallbackInvokedOnDirtyWriteback) {
   Lsn flushed_up_to = 0;
-  pool_.SetWalFlushCallback([&](Lsn lsn) { flushed_up_to = lsn; });
+  pool_.SetWalFlushCallback([&](Lsn lsn) {
+    flushed_up_to = lsn;
+    return true;
+  });
   PageGuard g;
   PageId pid;
   ASSERT_TRUE(pool_.NewPage(&g, &pid).ok());
