@@ -21,6 +21,20 @@
 //   DORADB_PIPELINED      1 = pipelined commit / early lock release
 //                         (default 0; commit batching needs it)
 //
+// Skew / live-repartitioning knobs:
+//   DORADB_SKEW_THETA     >0: workload key picks (TM1 subscriber, TPC-B
+//                         account) become Zipf(theta)-distributed by rank,
+//                         rank 1 = lowest key — the hot set is contiguous
+//                         so one range-partition executor soaks it up
+//                         (default 0 = each workload's classic pick)
+//   DORADB_REBALANCE      1 = run a RebalanceController per rig: consume
+//                         the load heatmap and live-migrate hot routing
+//                         ranges through the ticket-fenced cutover
+//                         (default 0)
+//   DORADB_REBALANCE_GAP  busy-fraction gap (hot - cold) that triggers a
+//                         migration (default 0.25)
+//   DORADB_REBALANCE_MS   controller cadence in ms (default 50)
+//
 // WAL knobs (both backends benchable without recompiling):
 //   DORADB_LOG_BACKEND    "central" (default) or "plog"
 //   DORADB_LOG_PARTITIONS plog partition count       (default 4)
@@ -65,6 +79,7 @@
 #include <vector>
 
 #include "dora/dora_engine.h"
+#include "dora/rebalance.h"
 #include "engine/database.h"
 #include "obs/heatmap.h"
 #include "obs/metrics.h"
@@ -82,6 +97,19 @@ inline uint64_t EnvU64(const char* name, uint64_t def) {
   const char* v = std::getenv(name);
   return v == nullptr ? def : std::strtoull(v, nullptr, 10);
 }
+
+inline double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v == nullptr ? def : std::strtod(v, nullptr);
+}
+
+// The shared deterministic skew knob: every workload rig below feeds this
+// into its Config, where a single util/rng.h ZipfGenerator (rank 1 = the
+// lowest key id) replaces the uniform key pick. Deterministic given the
+// client's seeded Rng; pinned by RebalanceTest.ZipfSkewGeneratorPinned.
+inline double SkewTheta() { return EnvDouble("DORADB_SKEW_THETA", 0.0); }
+
+inline bool RebalanceFromEnv() { return EnvU64("DORADB_REBALANCE", 0) != 0; }
 
 inline uint64_t BenchMs() { return EnvU64("DORADB_BENCH_MS", 700); }
 
@@ -187,14 +215,34 @@ struct Rig {
   std::unique_ptr<Database> db;
   std::unique_ptr<W> workload;
   std::unique_ptr<dora::DoraEngine> engine;
+  // DORADB_REBALANCE=1: the live-repartitioning controller. Declared after
+  // engine so it destructs (and stops) first; Stop() is also called
+  // explicitly before engine->Stop() for moved-from clarity.
+  std::unique_ptr<dora::RebalanceController> rebalancer;
 
   Rig() = default;
   Rig(Rig&&) = default;
   Rig& operator=(Rig&&) = default;
   ~Rig() {
+    if (rebalancer != nullptr) rebalancer->Stop();
     if (engine != nullptr) engine->Stop();
   }
 };
+
+// Arm a rig's live-repartitioning controller when DORADB_REBALANCE=1. The
+// controller sweeps the heatmap itself, so it works whether or not the
+// rig's watchdog is driving sweeps too (sweeps are diff-based — two
+// sweepers just mean shorter windows).
+template <typename W>
+inline void MaybeStartRebalancer(Rig<W>* rig) {
+  if (!RebalanceFromEnv()) return;
+  dora::RebalanceController::Options o;
+  o.min_busy_gap = EnvDouble("DORADB_REBALANCE_GAP", 0.25);
+  o.interval_ms = EnvU64("DORADB_REBALANCE_MS", 50);
+  rig->rebalancer = std::make_unique<dora::RebalanceController>(
+      rig->engine.get(), o);
+  rig->rebalancer->Start();
+}
 
 inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 0,
                                      bool trace = false) {
@@ -205,6 +253,7 @@ inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 0,
   cfg.executors_per_table =
       executors_per_table != 0 ? executors_per_table : ExecutorsFromEnv();
   cfg.trace_subscriber_accesses = trace;
+  cfg.skew_theta = SkewTheta();
   rig.workload = std::make_unique<tm1::Tm1Workload>(rig.db.get(), cfg);
   Status s = rig.workload->Load();
   if (!s.ok()) {
@@ -215,6 +264,7 @@ inline Rig<tm1::Tm1Workload> MakeTm1(uint32_t executors_per_table = 0,
                                                   EngineOptionsFromEnv());
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
+  MaybeStartRebalancer(&rig);
   return rig;
 }
 
@@ -230,6 +280,7 @@ inline Rig<tpcb::TpcbWorkload> MakeTpcbWith(
   cfg.accounts_per_branch = 2000;
   cfg.account_executors = account_executors;
   cfg.other_executors = other_executors;
+  cfg.skew_theta = SkewTheta();
   rig.workload = std::make_unique<tpcb::TpcbWorkload>(rig.db.get(), cfg);
   Status s = rig.workload->Load();
   if (!s.ok()) {
@@ -240,6 +291,7 @@ inline Rig<tpcb::TpcbWorkload> MakeTpcbWith(
       std::make_unique<dora::DoraEngine>(rig.db.get(), engine_opts);
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
+  MaybeStartRebalancer(&rig);
   return rig;
 }
 
@@ -272,6 +324,7 @@ inline Rig<tpcc::TpccWorkload> MakeTpcc(uint32_t warehouses = 0,
                                                   EngineOptionsFromEnv());
   rig.workload->SetupDora(rig.engine.get());
   rig.engine->Start();
+  MaybeStartRebalancer(&rig);
   return rig;
 }
 
@@ -432,6 +485,45 @@ class SkewProbe {
   dora::DoraEngine* const engine_;
   uint64_t start_tsc_ = 0;
   std::map<uint32_t, Base> base_;
+};
+
+// Windowed live-repartitioning probe: deltas of the process-wide rebalance
+// counters, so a bench row records how many migrations the controller
+// committed during its window (0 when DORADB_REBALANCE is off).
+class RebalanceProbe {
+ public:
+  RebalanceProbe() {
+    auto& reg = obs::MetricsRegistry::Default();
+    splits0_ = reg.GetCounter("dora.rebalance.splits")->Value();
+    moved0_ = reg.GetCounter("dora.rebalance.moved_ranges")->Value();
+  }
+
+  uint64_t Splits() const {
+    return obs::MetricsRegistry::Default()
+               .GetCounter("dora.rebalance.splits")
+               ->Value() -
+           splits0_;
+  }
+  uint64_t MovedRanges() const {
+    return obs::MetricsRegistry::Default()
+               .GetCounter("dora.rebalance.moved_ranges")
+               ->Value() -
+           moved0_;
+  }
+
+  // Adds the skew/rebalance columns every DORA row carries when the knobs
+  // are in play: the offered skew, whether the controller was armed, and
+  // the migrations it landed during the window.
+  void Fold(JsonRow* row) const {
+    row->Num("skew_theta", SkewTheta())
+        .Int("rebalance", RebalanceFromEnv() ? 1 : 0)
+        .Int("rebalance_splits", Splits())
+        .Int("rebalance_moved_ranges", MovedRanges());
+  }
+
+ private:
+  uint64_t splits0_ = 0;
+  uint64_t moved0_ = 0;
 };
 
 // Windowed epoch-batching probe: snapshots every executor's group-size

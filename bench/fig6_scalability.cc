@@ -30,6 +30,7 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
       // DORA row, making load imbalance visible per ladder step.
       SkewProbe skew(engine);
       BatchProbe batch(engine);
+      RebalanceProbe rebalance;
       const BenchResult r =
           RunBench(workload, MakeConfig(kind, engine, clients, txn_type));
       if (kind == EngineKind::kDora) {
@@ -46,6 +47,10 @@ void Sweep(const char* label, W* workload, dora::DoraEngine* engine,
         row.Int("batch", engine->epoch_batch_min() != 0 ? 1 : 0)
             .Int("batch_group_p50", batch.GroupP50())
             .Num("wakeups_per_action", delta.wakeups_per_action());
+        // Skew/rebalance A/B columns: with DORADB_SKEW_THETA>0 and
+        // DORADB_REBALANCE=1 the exec_busy_max-exec_busy_min gap above
+        // should shrink as migrations land.
+        rebalance.Fold(&row);
       }
       BenchJson::Default().Add(row);
     }

@@ -37,6 +37,7 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
   double wakeups_per_action[3] = {0, 0, 0};
   int i = 0;
   const auto s0 = engine->CollectInboxStats();
+  RebalanceProbe rebalance;
   // Skew over the DORA ladders only: constructed lazily at the first DORA
   // point so the baseline sweep's idle executors don't dilute the window.
   std::unique_ptr<SkewProbe> skew;
@@ -92,6 +93,7 @@ void FindPeaks(const char* label, W* workload, dora::DoraEngine* engine,
       .Num("batch_wakeups_per_action", wakeups_per_action[2])
       .Int("batch_group_p50", batch != nullptr ? batch->GroupP50() : 0);
   if (skew != nullptr) skew->Fold(&row);
+  rebalance.Fold(&row);
   BenchJson::Default().Add(row);
 }
 

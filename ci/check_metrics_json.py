@@ -39,6 +39,16 @@ epoch-batched execution path must also have left evidence:
   * "log.bulk_reservations" counter > 0 (epoch closes took the one-
     reservation-per-group commit append);
   * "btree.descents_saved" counter present (leaf-cursor probes armed).
+
+With --require-rebalance (for smokes run under DORADB_REBALANCE=1 on a
+skewed workload), the live-repartitioning path must have left evidence:
+  * "dora.rebalance.splits" or "dora.rebalance.moved_ranges" counter > 0
+    (the controller performed at least one migration);
+  * "dora.rebalance.fence_wait_ns" histogram with count > 0 (the
+    migration went through the ticket-fenced drain, not a fast path);
+  * at least one well-formed "DORADB_REBALANCE {json}" line (the
+    controller's per-migration report: ts_ms/table/kind/hot/cold/
+    version/fence_wait_ns/busy_hot/busy_cold).
 """
 
 import json
@@ -47,6 +57,7 @@ import sys
 
 STATS_PREFIX = "DORADB_STATS "
 HEATMAP_PREFIX = "DORADB_HEATMAP "
+REBALANCE_PREFIX = "DORADB_REBALANCE "
 BENCH_PREFIX = "BENCH_JSON "
 VALID_TYPES = {"counter", "gauge", "histogram"}
 HISTOGRAM_COUNT_FIELDS = ("count", "sum")
@@ -151,6 +162,30 @@ def check_heatmap_payload(where, payload, errors):
                               f"outside [0,1]")
 
 
+REBALANCE_INT_FIELDS = ("ts_ms", "table", "hot", "cold", "version",
+                        "fence_wait_ns")
+REBALANCE_KINDS = {"split", "move"}
+
+
+def check_rebalance_payload(where, payload, errors):
+    try:
+        obj = json.loads(payload)
+    except json.JSONDecodeError as e:
+        errors.append(f"{where}: invalid DORADB_REBALANCE JSON: {e}")
+        return
+    for field in REBALANCE_INT_FIELDS:
+        if not isinstance(obj.get(field), int):
+            errors.append(f"{where}: rebalance line lacks integer {field!r}")
+    if obj.get("kind") not in REBALANCE_KINDS:
+        errors.append(f"{where}: rebalance kind {obj.get('kind')!r} not in "
+                      f"{sorted(REBALANCE_KINDS)}")
+    for field in ("busy_hot", "busy_cold"):
+        v = obj.get(field)
+        if not isinstance(v, (int, float)) or not 0.0 <= v <= 1.0:
+            errors.append(f"{where}: rebalance {field!r} missing or "
+                          f"outside [0,1]")
+
+
 BATCH_AB_FIELDS = ("dora_batch_peak_tps", "batch_speedup", "batch_group_p50",
                    "batch_wakeups_per_action", "nobatch_wakeups_per_action")
 
@@ -181,7 +216,9 @@ def check_bench_payload(where, payload, errors, require_batching):
 def main(argv):
     args = argv[1:]
     require_batching = "--require-batching" in args
-    args = [a for a in args if a != "--require-batching"]
+    require_rebalance = "--require-rebalance" in args
+    args = [a for a in args
+            if a not in ("--require-batching", "--require-rebalance")]
     if not args:
         print(__doc__)
         return 2
@@ -191,6 +228,7 @@ def main(argv):
     seen_reasons = set()
     stats_lines = 0
     heatmap_lines = 0
+    rebalance_lines = 0
     bench_lines = 0
     for path in args:
         with open(path, "r", errors="replace") as f:
@@ -208,6 +246,10 @@ def main(argv):
                     heatmap_lines += 1
                     check_heatmap_payload(where, line[len(HEATMAP_PREFIX):],
                                           errors)
+                elif line.startswith(REBALANCE_PREFIX):
+                    rebalance_lines += 1
+                    check_rebalance_payload(
+                        where, line[len(REBALANCE_PREFIX):], errors)
                 elif line.startswith(BENCH_PREFIX):
                     bench_lines += 1
                     check_bench_payload(where, line[len(BENCH_PREFIX):],
@@ -240,10 +282,25 @@ def main(argv):
         if "btree.descents_saved" not in seen_names:
             errors.append("--require-batching: btree.descents_saved counter "
                           "never reported (leaf-cursor probes unarmed?)")
+    if require_rebalance:
+        migrated = (seen_values.get("dora.rebalance.splits", 0) > 0 or
+                    seen_values.get("dora.rebalance.moved_ranges", 0) > 0)
+        if not migrated:
+            errors.append("--require-rebalance: neither dora.rebalance."
+                          "splits nor dora.rebalance.moved_ranges went "
+                          "positive (controller never migrated?)")
+        if seen_values.get("dora.rebalance.fence_wait_ns", 0) <= 0:
+            errors.append("--require-rebalance: dora.rebalance.fence_wait_ns "
+                          "histogram never reported samples (migration "
+                          "skipped the ticket fence?)")
+        if rebalance_lines == 0:
+            errors.append("--require-rebalance: no DORADB_REBALANCE lines "
+                          "found (controller report missing)")
     for e in errors:
         print(f"check_metrics_json: {e}", file=sys.stderr)
     print(f"check_metrics_json: {stats_lines} stats line(s), "
-          f"{heatmap_lines} heatmap line(s), {bench_lines} bench line(s), "
+          f"{heatmap_lines} heatmap line(s), {rebalance_lines} rebalance "
+          f"line(s), {bench_lines} bench line(s), "
           f"{len(seen_names)} distinct metrics, {len(errors)} error(s)")
     return 1 if errors else 0
 

@@ -1,88 +1,185 @@
-// Load-balancing demo (paper §A.2.1): skewed clients hammer one slice of
-// the TM1 subscriber space; the resource manager observes the imbalance and
-// re-partitions the routing rule at runtime using the drain-then-install
-// system-action protocol — while transactions keep flowing.
+// Live-repartitioning demo: Zipf-skewed clients hammer the low end of the
+// TM1 subscriber space, so one executor of the range-partitioned
+// subscriber table soaks up most of the work. The RebalanceController
+// watches the load heatmap and — once resumed — splits or moves the hot
+// routing range through the ticket-fenced migration path while
+// transactions keep flowing. The demo measures the executor busy-fraction
+// gap before and after, and fails (exit 1) if no migration happens or the
+// workload's integrity check breaks.
 //
-//   $ ./build/examples/load_balance_demo
+//   $ ./build/load_balance_demo
+//
+// Knobs: DORADB_SKEW_THETA (default 0.9), DORADB_STATS_INTERVAL_MS
+// (nonzero: periodic DORADB_STATS lines), DORADB_REBALANCE_GAP (default
+// 0.15).
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <thread>
+#include <vector>
 
-#include "dora/resource_manager.h"
+#include "dora/rebalance.h"
+#include "util/clock.h"
 #include "workloads/tm1/tm1.h"
 
 using namespace doradb;
 
+namespace {
+
+double EnvDouble(const char* name, double def) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::atof(v) : def;
+}
+
+uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 10) : def;
+}
+
+// Busy fraction per subscriber-table executor over one wall-clock window,
+// from the executors' lifetime busy_cycles counters.
+struct GapWindow {
+  std::vector<double> busy;
+  double gap = 0.0;  // max - min
+};
+
+GapWindow MeasureGap(dora::DoraEngine& engine, TableId table,
+                     uint64_t window_ms) {
+  const uint32_t n = engine.executors_of(table);
+  std::vector<uint64_t> c0(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    c0[i] = engine.ExecutorAt(table, i)->busy_cycles();
+  }
+  const uint64_t t0 = Cycles::Now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(window_ms));
+  const double wall = static_cast<double>(Cycles::Now() - t0);
+  GapWindow w;
+  double lo = 1.0, hi = 0.0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const double f = static_cast<double>(
+                         engine.ExecutorAt(table, i)->busy_cycles() - c0[i]) /
+                     wall;
+    w.busy.push_back(f);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  w.gap = hi - lo;
+  return w;
+}
+
+void PrintWindow(const char* when, const GapWindow& w) {
+  std::printf("%-22s gap %.3f  busy:", when, w.gap);
+  for (size_t i = 0; i < w.busy.size(); ++i) {
+    std::printf(" [%zu] %.3f", i, w.busy[i]);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
 int main() {
-  Database db;
+  Database::Options db_opts;
+  db_opts.stats_interval_ms = EnvU64("DORADB_STATS_INTERVAL_MS", 0);
+  Database db(db_opts);
+
   tm1::Tm1Workload::Config cfg;
-  cfg.subscribers = 10000;
+  cfg.subscribers = 8000;
   cfg.executors_per_table = 2;
+  cfg.skew_theta = EnvDouble("DORADB_SKEW_THETA", 0.9);
   tm1::Tm1Workload workload(&db, cfg);
-  if (!workload.Load().ok()) return 1;
+  if (!workload.Load().ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
 
   dora::DoraEngine engine(&db);
   workload.SetupDora(&engine);
   engine.Start();
-
   const TableId sub = workload.schema().subscriber;
-  auto print_rule = [&](const char* when) {
-    auto rule = engine.routing_of(sub)->Current();
-    std::printf("%s: subscriber routing boundary = %lu (executor 0 owns "
-                "[0, %lu), executor 1 the rest)\n",
-                when,
-                static_cast<unsigned long>(
-                    rule->boundaries.empty() ? 0 : rule->boundaries[0]),
-                static_cast<unsigned long>(
-                    rule->boundaries.empty() ? 0 : rule->boundaries[0]));
-  };
-  print_rule("initial");
 
-  dora::ResourceManager::Options rm_opts;
-  rm_opts.sample_interval_us = 100000;
-  rm_opts.imbalance_threshold = 1.5;
-  dora::ResourceManager rm(&engine, rm_opts);
-  rm.Start();
+  // Controller up but frozen: the "before" window measures raw skew.
+  dora::RebalanceController::Options ro;
+  ro.min_busy_gap = EnvDouble("DORADB_REBALANCE_GAP", 0.15);
+  ro.interval_ms = 25;
+  dora::RebalanceController controller(&engine, ro);
+  controller.Pause();
+  controller.Start();
 
-  // Skewed load: every access in the top 10% of the id space (executor 1).
   std::atomic<bool> stop{false};
-  std::atomic<uint64_t> done{0};
-  std::thread client([&] {
-    Rng rng(99);
-    while (!stop.load()) {
-      const uint64_t s_id = rng.UniformInt(cfg.subscribers * 9 / 10 + 1,
-                                           cfg.subscribers);
-      auto dtxn = engine.BeginTxn();
-      dora::FlowGraph g;
-      g.AddPhase().AddAction(
-          sub, s_id, dora::LocalMode::kS, [&, s_id](dora::ActionEnv& env) {
-            IndexEntry e;
-            KeyBuilder kb;
-            kb.Add64(s_id);
-            DORADB_RETURN_NOT_OK(
-                db.catalog()->Index(workload.schema().sub_pk)->Probe(
-                    kb.View(), &e));
-            std::string bytes;
-            return env.db->Read(env.txn, sub, e.rid, &bytes,
-                                AccessOptions::NoCc());
-          });
-      if (engine.Run(dtxn, std::move(g)).ok()) done.fetch_add(1);
-    }
-  });
+  std::atomic<uint64_t> committed{0};
+  std::atomic<uint64_t> retried{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      while (!stop.load()) {
+        const uint32_t type = workload.PickTxnType(rng);
+        const Status s = workload.RunDora(&engine, type, rng);
+        if (s.ok()) {
+          committed.fetch_add(1);
+        } else {
+          // TATP's expected aborts (missing destination, duplicate CF row)
+          // plus the rare deadlock-retry during a cutover.
+          retried.fetch_add(1);
+        }
+      }
+    });
+  }
 
-  std::this_thread::sleep_for(std::chrono::seconds(2));
+  std::printf("TM1, %lu subscribers, Zipf theta %.2f, %u executors\n",
+              static_cast<unsigned long>(cfg.subscribers), cfg.skew_theta,
+              cfg.executors_per_table);
+  const GapWindow before = MeasureGap(engine, sub, 500);
+  PrintWindow("before rebalance:", before);
+
+  controller.Resume();
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (controller.migrations() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (controller.migrations() == 0) {
+    std::fprintf(stderr, "FAIL: no migration within 10s (gap gate %.2f)\n",
+                 ro.min_busy_gap);
+    stop = true;
+    for (auto& c : clients) c.join();
+    controller.Stop();
+    engine.Stop();
+    return 1;
+  }
+
+  const GapWindow after = MeasureGap(engine, sub, 500);
+  PrintWindow("after rebalance:", after);
+
   stop = true;
-  client.join();
-  rm.Stop();
+  for (auto& c : clients) c.join();
+  controller.Stop();
 
-  print_rule("after skewed load");
-  std::printf("transactions executed: %lu | rebalances performed: %lu\n",
-              static_cast<unsigned long>(done.load()),
-              static_cast<unsigned long>(rm.rebalances()));
-  std::printf("expected: the boundary moved toward the hot region so the\n"
-              "overloaded executor's dataset shrank (§A.2.1), with zero\n"
-              "failed transactions during the handover.\n");
+  auto rule = engine.routing_of(sub)->Current();
+  std::printf("subscriber routing: %zu datasets, version %lu\n",
+              rule->executor_of_dataset.size(),
+              static_cast<unsigned long>(rule->version));
+  std::printf(
+      "migrations %lu (splits %lu, moves %lu, failed %lu) | "
+      "committed %lu | expected aborts + retries %lu\n",
+      static_cast<unsigned long>(controller.migrations()),
+      static_cast<unsigned long>(controller.splits()),
+      static_cast<unsigned long>(controller.moves()),
+      static_cast<unsigned long>(controller.failed()),
+      static_cast<unsigned long>(committed.load()),
+      static_cast<unsigned long>(retried.load()));
+
+  const Status c = workload.CheckConsistency();
   engine.Stop();
+  if (!c.ok()) {
+    std::fprintf(stderr, "FAIL: consistency: %s\n", c.ToString().c_str());
+    return 1;
+  }
+  std::printf("consistency check passed; busy gap %.3f -> %.3f\n",
+              before.gap, after.gap);
   return 0;
 }

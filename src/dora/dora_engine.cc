@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <set>
 
 #include "obs/health.h"
 #include "obs/heartbeat.h"
@@ -28,6 +30,22 @@ void DoraEngine::RegisterTable(TableId table, uint64_t key_space,
   group->table = table;
   group->key_space = key_space;
   group->routing.Install(RoutingRule::Uniform(key_space, executors));
+  // Adopt a persisted routing override (a live split written through by a
+  // prior lifetime's MigrateRoutingRule) when it matches this wiring —
+  // the piece of RegisterFromCatalog that makes a split survive restart.
+  // A mismatched override (different key space or executor count) is
+  // ignored; SetDoraConfig below clears it from the catalog.
+  if (TableInfo* info = db_->catalog()->GetTable(table);
+      info != nullptr && !info->routing_executors.empty() &&
+      info->key_space == key_space && info->dora_executors == executors) {
+    auto persisted = std::make_shared<RoutingRule>();
+    persisted->boundaries = info->routing_boundaries;
+    persisted->executor_of_dataset = info->routing_executors;
+    persisted->version = info->routing_version;
+    if (persisted->Validate(key_space, executors).ok()) {
+      group->routing.Install(std::move(persisted));
+    }
+  }
   for (uint32_t i = 0; i < executors; ++i) {
     group->executors.push_back(std::make_unique<Executor>(
         this, db_, table, i, next_global_index_++));
@@ -393,6 +411,13 @@ uint64_t DoraEngine::key_space_of(TableId table) const {
   return it == tables_.end() ? 0 : it->second->key_space;
 }
 
+std::vector<TableId> DoraEngine::RegisteredTables() const {
+  std::vector<TableId> out;
+  for (const auto& [table, group] : tables_) out.push_back(table);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 void DoraEngine::DispatchPhase(DoraTxn* dtxn, size_t phase) {
   ScopedTimeClass timer(TimeClass::kDoraQueue);
   auto& actions = dtxn->phase_actions[phase];
@@ -632,37 +657,140 @@ void DoraEngine::CommitEpoch(Executor* self) {
   dtxns.clear();
 }
 
+namespace {
+
+// Walk the merged boundary lists of two rules over the same key space and
+// report (a) every executor on either side of an ownership change — the
+// set the migration fence must drain — and (b) the number of maximal
+// contiguous ranges whose owner changes (the moved_ranges metric).
+void DiffOwnership(const RoutingRule& from, const RoutingRule& to,
+                   std::set<uint32_t>* affected, uint64_t* changed_ranges) {
+  size_t ia = 0, ib = 0;
+  uint64_t changed = 0;
+  bool in_changed_run = false;
+  for (;;) {
+    const uint32_t oa = from.executor_of_dataset[ia];
+    const uint32_t ob = to.executor_of_dataset[ib];
+    if (oa != ob) {
+      affected->insert(oa);
+      affected->insert(ob);
+      if (!in_changed_run) {
+        ++changed;
+        in_changed_run = true;
+      }
+    } else {
+      in_changed_run = false;
+    }
+    const uint64_t na =
+        ia < from.boundaries.size() ? from.boundaries[ia] : UINT64_MAX;
+    const uint64_t nb =
+        ib < to.boundaries.size() ? to.boundaries[ib] : UINT64_MAX;
+    if (na == UINT64_MAX && nb == UINT64_MAX) break;
+    if (na <= nb) ++ia;
+    if (nb <= na) ++ib;
+  }
+  *changed_ranges = changed;
+}
+
+}  // namespace
+
+Status DoraEngine::MigrateRoutingRule(TableId table,
+                                      std::shared_ptr<const RoutingRule> rule,
+                                      uint64_t* fence_wait_ns) {
+  if (fence_wait_ns != nullptr) *fence_wait_ns = 0;
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::InvalidArgument("unknown table");
+  TableGroup* group = it->second.get();
+  const uint32_t n = static_cast<uint32_t>(group->executors.size());
+  DORADB_RETURN_NOT_OK(rule->Validate(group->key_space, n));
+  auto old_rule = group->routing.Current();
+  if (rule->version <= old_rule->version) {
+    return Status::Busy(
+        "routing rule version " + std::to_string(rule->version) +
+        " is not newer than the installed version " +
+        std::to_string(old_rule->version));
+  }
+  std::set<uint32_t> affected;
+  uint64_t moved_ranges = 0;
+  DiffOwnership(*old_rule, *rule, &affected, &moved_ranges);
+  const bool split = rule->boundaries.size() > old_rule->boundaries.size();
+
+  if (affected.empty()) {
+    // Ownership function unchanged (a same-owner re-split or a pure
+    // version bump): no executor can mis-admit under either rule, so no
+    // fence is needed.
+    group->routing.Install(rule);
+  } else {
+    // §A.2.1 via system actions, scoped to the executors whose ownership
+    // actually changes (always >= 2: a range moves FROM one executor TO
+    // another). Phase 1 takes a whole-dataset X lock on each — a
+    // multi-executor phase, so it is stamped with a dispatch ticket; the
+    // X grant (FIFO inboxes + commit-held local locks) is the drain
+    // barrier. Phase 2 publishes the rule while they are still locked
+    // out; the stale-route re-check at admission bounces anything
+    // enqueued under the old rule afterwards.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto dtxn = BeginTxn();
+    FlowGraph g;
+    g.AddPhase();
+    for (const uint32_t i : affected) {
+      g.AddWholeDatasetAction(table, i, LocalMode::kX,
+                              [](ActionEnv&) { return Status::OK(); });
+    }
+    g.AddPhase();
+    g.AddWholeDatasetAction(
+        table, *affected.begin(), LocalMode::kX,
+        [group, rule](ActionEnv&) {
+          // Under the fence's X locks: a concurrent migration that won the
+          // race already advanced the version, and installing over it
+          // would silently undo its handoff.
+          if (rule->version <= group->routing.Current()->version) {
+            return Status::Busy(
+                "routing rule version lost a concurrent migration");
+          }
+          group->routing.Install(rule);
+          return Status::OK();
+        });
+    DORADB_RETURN_NOT_OK(Run(dtxn, std::move(g)));
+    const uint64_t ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (fence_wait_ns != nullptr) *fence_wait_ns = ns;
+    obs::MetricsRegistry::Default()
+        .GetHistogram("dora.rebalance.fence_wait_ns", "ns")
+        ->Record(ns);
+  }
+
+  auto& reg = obs::MetricsRegistry::Default();
+  if (split) reg.GetCounter("dora.rebalance.splits")->Add(1);
+  if (moved_ranges != 0) {
+    reg.GetCounter("dora.rebalance.moved_ranges")->Add(moved_ranges);
+  }
+
+  // Write-through AFTER publication: the new rule is already live, so a
+  // crash in this window loses only the split (the next lifetime adopts
+  // the old assignment — exactly one of the two, never a blend), while
+  // persisting first could hand a restarted process a rule the fence
+  // never published.
+  if (db_->catalog()->GetTable(table) != nullptr) {
+    DORADB_RETURN_NOT_OK(db_->catalog()->SetDoraRouting(
+        table, rule->boundaries, rule->executor_of_dataset, rule->version));
+  }
+  return Status::OK();
+}
+
 Status DoraEngine::Rebalance(TableId table,
                              std::shared_ptr<const RoutingRule> rule) {
   auto it = tables_.find(table);
   if (it == tables_.end()) return Status::InvalidArgument("unknown table");
-  TableGroup* group = it->second.get();
-  if (rule->executor_of_dataset.empty() ||
-      *std::max_element(rule->executor_of_dataset.begin(),
-                        rule->executor_of_dataset.end()) >=
-          group->executors.size()) {
-    return Status::InvalidArgument("rule references unknown executor");
+  auto current = it->second->routing.Current();
+  if (rule->version <= current->version) {
+    auto stamped = std::make_shared<RoutingRule>(*rule);
+    stamped->version = current->version + 1;
+    rule = std::move(stamped);
   }
-  // §A.2.1 via system actions: phase 1 takes a whole-dataset X lock on
-  // every executor of the table (granted only once each has drained its
-  // in-flight actions — FIFO queues + commit-held locks make the whole-
-  // dataset grant the drain barrier); phase 2 installs the new rule while
-  // all executors are still locked out.
-  auto dtxn = BeginTxn();
-  FlowGraph g;
-  g.AddPhase();
-  const uint32_t n = static_cast<uint32_t>(group->executors.size());
-  for (uint32_t i = 0; i < n; ++i) {
-    g.AddWholeDatasetAction(table, i, LocalMode::kX,
-                            [](ActionEnv&) { return Status::OK(); });
-  }
-  g.AddPhase();
-  g.AddWholeDatasetAction(table, 0, LocalMode::kX,
-                          [group, rule](ActionEnv&) {
-                            group->routing.Install(rule);
-                            return Status::OK();
-                          });
-  return Run(dtxn, std::move(g));
+  return MigrateRoutingRule(table, std::move(rule));
 }
 
 DoraEngine::InboxStats DoraEngine::CollectInboxStats() const {

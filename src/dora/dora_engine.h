@@ -157,9 +157,38 @@ class DoraEngine {
   uint32_t executors_of(TableId table) const;
   const RoutingTable* routing_of(TableId table) const;
   uint64_t key_space_of(TableId table) const;
+  // Registered table ids in registration order (stable decision order for
+  // the rebalance controller).
+  std::vector<TableId> RegisteredTables() const;
 
-  // Install a new routing rule after draining the affected executors
-  // (§A.2.1 shrink/grow protocol). Blocks until the handover is safe.
+  // Ticket-fenced live migration of a table's routing rule (§A.2.1 made
+  // online). The fence is a system transaction whose first phase takes a
+  // whole-dataset X lock on every executor whose ownership differs between
+  // the current rule and `rule` — a multi-executor phase, so DispatchPhase
+  // stamps it with a dispatch ticket. Every action ticketed before the
+  // fence is admitted ahead of it (FIFO inboxes + ticket order) and
+  // executes under the old rule; the X grant doubles as the drain barrier
+  // (commit-held local locks). Phase 2 publishes the rule while the
+  // affected executors are still locked out; anything admitted afterwards
+  // re-checks routing at admission and bounces to its new owner — there is
+  // no window in which two executors accept the same range, and §4.2.3
+  // deadlock freedom is untouched because the fence is ordered by the same
+  // ticket discipline as any other multi-queue enqueue.
+  //
+  // `rule->version` must exceed the current version; a concurrent migration
+  // that wins the fence first fails this one with kBusy (the check runs
+  // under the X locks). After publication the assignment is
+  // written through the durable catalog (SetDoraRouting) so the split
+  // survives restart; a persist failure is returned (the rule stays live
+  // in memory — routing is a dispatch concern, recovery does not depend on
+  // it). Emits dora.rebalance.{splits,moved_ranges,fence_wait_ns};
+  // `fence_wait_ns` (optional) receives the fence's wall-clock cost.
+  Status MigrateRoutingRule(TableId table,
+                            std::shared_ptr<const RoutingRule> rule,
+                            uint64_t* fence_wait_ns = nullptr);
+
+  // Legacy entry (resource manager, tests): stamps version = current + 1
+  // when the caller left it unset or stale, then migrates as above.
   Status Rebalance(TableId table, std::shared_ptr<const RoutingRule> rule);
 
   const Options& options() const { return options_; }

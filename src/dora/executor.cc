@@ -197,7 +197,7 @@ bool Executor::ProcessInbox(MpscNode* chain) {
         DoraTxn* t = comps_[i];
         runnable_.clear();
         locks_.ReleaseAll(t, &runnable_);
-        for (Action* a : runnable_) ExecuteGranted(a);
+        RunRunnable();
         t->Unref();  // completion message's reference
       }
       comps_.clear();
@@ -357,7 +357,26 @@ void Executor::ExpireStaleParked(uint64_t timeout_cycles) {
     actions_executed_.fetch_add(1, std::memory_order_relaxed);
     ReportToRvp(a);  // participates in RVP accounting, body skipped
   }
-  for (Action* a : runnable_) ExecuteGranted(a);
+  RunRunnable();
+}
+
+void Executor::RunRunnable() {
+  // Wake-path twin of AdmitAction's stale-route bounce: an action that
+  // parked under the OLD routing rule can be granted here AFTER a
+  // migration published — executing it would race the new owner. Give the
+  // grant back (which may wake further waiters, hence the index loop) and
+  // redispatch it through the current table.
+  for (size_t i = 0; i < runnable_.size(); ++i) {
+    Action* a = runnable_[i];
+    if (!a->whole_dataset &&
+        engine_->RouteToExecutor(a->table, a->routing_value) != this) {
+      locks_.ReleaseGrant(a, &runnable_);
+      engine_->Redispatch(a);
+      continue;
+    }
+    ExecuteGranted(a);
+  }
+  runnable_.clear();
 }
 
 void Executor::ExecuteGranted(Action* a) {

@@ -145,6 +145,11 @@ class Executor {
   void AdmitAction(Action* a);
   // Local-lock deadlock resolution (§4.2.3): abort over-age parked waits.
   void ExpireStaleParked(uint64_t timeout_cycles);
+  // Execute the woken actions in runnable_, re-checking routing first: an
+  // action parked before a migration published may wake on an executor
+  // that no longer owns its key — it gives the grant back and redispatches
+  // instead of executing here. Index loop: ReleaseGrant can append.
+  void RunRunnable();
   // Run the body (unless the txn already aborted) and report to the RVP.
   void ExecuteGranted(Action* a);
   void ReportToRvp(Action* a);

@@ -33,6 +33,20 @@ bool LocalLockTable::Grantable(const Action* a) const {
   }
   // Exact action: must also be compatible with any whole-dataset holders.
   if (whole_.x_owner != nullptr && whole_.x_owner != txn) return false;
+  // Drain-barrier fairness: a PARKED whole-dataset action (a migration
+  // fence, typically) must not starve behind a steady stream of fresh
+  // exact grants. Actions ticketed BEFORE the fence pass — they are the
+  // in-flight work the drain waits for, and blocking one that already
+  // holds locks elsewhere would close a cycle through the fence. Later-
+  // ticketed and unticketed actions queue behind the barrier unless
+  // their transaction already holds locks here (it must run to
+  // completion for the drain to finish).
+  if (!whole_.waiters.empty()) {
+    const uint64_t fence_ticket = whole_.waiters.front()->ticket;
+    const bool pre_fence =
+        a->ticket != 0 && fence_ticket != 0 && a->ticket < fence_ticket;
+    if (!pre_fence && holdings_.find(txn) == holdings_.end()) return false;
+  }
   if (a->mode == LocalMode::kX) {
     for (DoraTxn* s : whole_.s_owners) {
       if (s != txn) return false;
@@ -114,6 +128,47 @@ void LocalLockTable::WakeEntry(Entry& e, std::vector<Action*>* runnable) {
     Grant(a);
     runnable->push_back(a);
   }
+}
+
+void LocalLockTable::ReleaseGrant(Action* a, std::vector<Action*>* runnable) {
+  DoraTxn* txn = a->dtxn;
+  auto hit = holdings_.find(txn);
+  if (hit == holdings_.end()) return;
+  bool found = false;
+  for (auto i = hit->second.begin(); i != hit->second.end(); ++i) {
+    if (i->whole == a->whole_dataset &&
+        (a->whole_dataset || i->key == a->routing_value)) {
+      hit->second.erase(i);
+      found = true;
+      break;
+    }
+  }
+  if (!found) return;
+  Entry& e = a->whole_dataset ? whole_ : exact_[a->routing_value];
+  // Same undo branch as ReleaseAll: an X owner's grants all count on
+  // x_count, otherwise drop one shared owner slot.
+  if (e.x_owner == txn) {
+    if (--e.x_count == 0) e.x_owner = nullptr;
+  } else {
+    for (auto s = e.s_owners.begin(); s != e.s_owners.end(); ++s) {
+      if (*s == txn) {
+        e.s_owners.erase(s);
+        break;
+      }
+    }
+  }
+  if (!a->whole_dataset) --exact_granted_;
+  if (hit->second.empty()) holdings_.erase(hit);
+  if (!a->whole_dataset) {
+    auto eit = exact_.find(a->routing_value);
+    if (eit != exact_.end()) {
+      WakeEntry(eit->second, runnable);
+      if (eit->second.Free() && eit->second.x_count == 0) {
+        exact_.erase(eit);
+      }
+    }
+  }
+  WakeEntry(whole_, runnable);
 }
 
 void LocalLockTable::ReleaseAll(DoraTxn* dtxn,

@@ -35,6 +35,12 @@ class LocalLockTable {
   // Appends actions that became runnable, in grant order, to `runnable`.
   void ReleaseAll(DoraTxn* dtxn, std::vector<Action*>* runnable);
 
+  // Undo exactly one grant previously made to `a` (the wake path's
+  // stale-route bounce: a parked action granted after a routing migration
+  // published must give its lock back and redispatch instead of executing
+  // here). Appends any waiters the release unblocks to `runnable`.
+  void ReleaseGrant(Action* a, std::vector<Action*>* runnable);
+
   // Local deadlock resolution (the paper notes DORA must surface local-
   // lock waits to a deadlock detector, §4.2.3): remove parked actions
   // older than `deadline_cycles` into `expired` (the executor aborts their

@@ -109,9 +109,15 @@ void ResourceManager::MaybeRebalanceTable(TableId table,
     acc += weights[i] / weight_total;
     uint64_t boundary = static_cast<uint64_t>(
         acc * static_cast<double>(key_space));
-    if (!rule->boundaries.empty() && boundary <= rule->boundaries.back()) {
-      boundary = rule->boundaries.back() + 1;
-    }
+    // Clamp into RoutingRule::Validate's open interval: strictly
+    // increasing, never 0, and leaving room inside the key space for the
+    // boundaries still to come (extreme skew pushes the raw value to the
+    // domain's edge).
+    const uint64_t lo =
+        rule->boundaries.empty() ? 1 : rule->boundaries.back() + 1;
+    const uint64_t hi = key_space - 1 - (n - 2 - i);
+    if (boundary < lo) boundary = lo;
+    if (boundary > hi) boundary = hi;
     rule->boundaries.push_back(boundary);
   }
   for (uint32_t i = 0; i < n; ++i) rule->executor_of_dataset.push_back(i);

@@ -18,5 +18,33 @@ std::shared_ptr<const RoutingRule> RoutingRule::Uniform(uint64_t key_space,
   return rule;
 }
 
+Status RoutingRule::Validate(uint64_t key_space, uint32_t executors) const {
+  if (executor_of_dataset.empty()) {
+    return Status::InvalidArgument("routing rule has no datasets");
+  }
+  if (executor_of_dataset.size() != boundaries.size() + 1) {
+    return Status::InvalidArgument(
+        "routing rule sizes disagree: " +
+        std::to_string(executor_of_dataset.size()) + " executors for " +
+        std::to_string(boundaries.size()) + " boundaries");
+  }
+  for (size_t i = 0; i < boundaries.size(); ++i) {
+    if (boundaries[i] == 0 || (i > 0 && boundaries[i] <= boundaries[i - 1]) ||
+        (key_space > 0 && boundaries[i] >= key_space)) {
+      return Status::InvalidArgument(
+          "routing boundaries must be strictly increasing inside the key "
+          "space");
+    }
+  }
+  for (const uint32_t e : executor_of_dataset) {
+    if (e >= executors) {
+      return Status::InvalidArgument("routing executor " + std::to_string(e) +
+                                     " out of range (group has " +
+                                     std::to_string(executors) + ")");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace dora
 }  // namespace doradb

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "storage/types.h"
+#include "util/status.h"
 
 namespace doradb {
 namespace dora {
@@ -54,6 +55,13 @@ struct RoutingRule {
   // Evenly split [0, key_space) across `executors` datasets.
   static std::shared_ptr<const RoutingRule> Uniform(uint64_t key_space,
                                                     uint32_t executors);
+
+  // Structural validity against a table's registered wiring: one executor
+  // per dataset, boundaries strictly increasing inside (0, key_space),
+  // every dataset's executor below `executors`. Shared by the engine's
+  // migration path and by catalog-load adoption, so a rule can only be
+  // installed (or persisted) if the other side would accept it.
+  Status Validate(uint64_t key_space, uint32_t executors) const;
 };
 
 // Mutable holder of the current rule for one table. Route() — called once

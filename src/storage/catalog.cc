@@ -189,13 +189,88 @@ Status Catalog::SetDoraConfig(TableId table, uint64_t key_space,
   }
   const uint64_t prev_space = info->key_space;
   const uint32_t prev_exec = info->dora_executors;
+  // A persisted rule is only meaningful against the wiring it was split
+  // under; a real config change invalidates it.
+  auto prev_bounds = std::move(info->routing_boundaries);
+  auto prev_routing_exec = std::move(info->routing_executors);
+  const uint64_t prev_version = info->routing_version;
   info->key_space = key_space;
   info->dora_executors = executors;
+  info->routing_boundaries.clear();
+  info->routing_executors.clear();
+  info->routing_version = 0;
   ++ddl_epoch_;
   const Status s = WriteThroughLocked();
   if (!s.ok()) {
     info->key_space = prev_space;
     info->dora_executors = prev_exec;
+    info->routing_boundaries = std::move(prev_bounds);
+    info->routing_executors = std::move(prev_routing_exec);
+    info->routing_version = prev_version;
+    --ddl_epoch_;
+    return s;
+  }
+  return Status::OK();
+}
+
+Status Catalog::SetDoraRouting(TableId table, std::vector<uint64_t> boundaries,
+                               std::vector<uint32_t> executors,
+                               uint64_t version) {
+  std::lock_guard<std::mutex> g(mu_);
+  if (!poison_.ok()) return poison_;
+  if (table >= tables_.size()) {
+    return Status::InvalidArgument("no such table");
+  }
+  TableInfo* info = tables_[table].get();
+  // Same rules ValidateImage enforces at load: never persist a rule the
+  // loader would reject.
+  if (executors.empty()) {
+    if (!boundaries.empty()) {
+      return Status::InvalidArgument("routing boundaries without executors");
+    }
+  } else {
+    if (info->dora_executors == 0) {
+      return Status::InvalidArgument(
+          "routing rule for a table with no DORA wiring");
+    }
+    if (executors.size() != boundaries.size() + 1) {
+      return Status::InvalidArgument("routing rule sizes disagree");
+    }
+    if (executors.size() > kMaxRoutingDatasets) {
+      return Status::InvalidArgument("routing rule has too many datasets");
+    }
+    for (size_t i = 0; i < boundaries.size(); ++i) {
+      if (boundaries[i] == 0 ||
+          (i > 0 && boundaries[i] <= boundaries[i - 1]) ||
+          (info->key_space > 0 && boundaries[i] >= info->key_space)) {
+        return Status::InvalidArgument(
+            "routing boundaries must be strictly increasing inside the key "
+            "space");
+      }
+    }
+    for (const uint32_t e : executors) {
+      if (e >= info->dora_executors) {
+        return Status::InvalidArgument("routing executor out of range");
+      }
+    }
+  }
+  if (info->routing_boundaries == boundaries &&
+      info->routing_executors == executors &&
+      info->routing_version == version) {
+    return Status::OK();
+  }
+  auto prev_bounds = std::move(info->routing_boundaries);
+  auto prev_exec = std::move(info->routing_executors);
+  const uint64_t prev_version = info->routing_version;
+  info->routing_boundaries = std::move(boundaries);
+  info->routing_executors = std::move(executors);
+  info->routing_version = version;
+  ++ddl_epoch_;
+  const Status s = WriteThroughLocked();
+  if (!s.ok()) {
+    info->routing_boundaries = std::move(prev_bounds);
+    info->routing_executors = std::move(prev_exec);
+    info->routing_version = prev_version;
     --ddl_epoch_;
     return s;
   }
@@ -228,8 +303,15 @@ void Catalog::BuildImageLocked(CatalogImage* out) const {
   out->tables.clear();
   out->indexes.clear();
   for (const auto& t : tables_) {
-    out->tables.push_back(CatalogImage::Table{t->id, t->name, t->key_space,
-                                              t->dora_executors});
+    CatalogImage::Table img_t;
+    img_t.id = t->id;
+    img_t.name = t->name;
+    img_t.key_space = t->key_space;
+    img_t.dora_executors = t->dora_executors;
+    img_t.routing_boundaries = t->routing_boundaries;
+    img_t.routing_executors = t->routing_executors;
+    img_t.routing_version = t->routing_version;
+    out->tables.push_back(std::move(img_t));
   }
   for (const auto& i : indexes_) {
     out->indexes.push_back(CatalogImage::Index{

@@ -40,6 +40,12 @@ struct CatalogImage;
 // CRC-valid hostile file must not size a thread-spawning loop.
 constexpr uint32_t kMaxDoraExecutors = 4096;
 
+// Bound on a persisted routing rule's dataset count, enforced with the same
+// symmetry: live repartitioning splits ranges one at a time, so any real
+// rule is far below this, but a CRC-valid hostile file must not size a
+// multi-gigabyte boundary vector.
+constexpr uint32_t kMaxRoutingDatasets = 65536;
+
 // One field of an index key, extracted from the record bytes at a fixed
 // offset. kUint fields are read little-endian (the in-record layout of the
 // workloads' POD row structs) and appended big-endian, byte-for-byte what
@@ -128,6 +134,15 @@ struct TableInfo {
   // means the table was never registered with a DORA engine.
   uint64_t key_space = 0;
   uint32_t dora_executors = 0;
+  // Persisted routing-rule override (live repartitioning, §A.2.1): dataset
+  // boundaries, executor per dataset, and the rule version, written through
+  // by DoraEngine::MigrateRoutingRule so a range split survives restart.
+  // Empty routing_executors = no override; the engine installs the uniform
+  // default. Cleared whenever key_space/dora_executors change — an old
+  // rule is meaningless against new wiring.
+  std::vector<uint64_t> routing_boundaries;
+  std::vector<uint32_t> routing_executors;
+  uint64_t routing_version = 0;
   std::unique_ptr<HeapFile> heap;
   std::vector<IndexId> indexes;
 };
@@ -149,8 +164,16 @@ class Catalog {
                      bool secondary, const IndexKeySpec& spec, IndexId* id);
 
   // Record a table's DORA routing configuration (write-through when it
-  // changes). Called by DoraEngine::RegisterTable.
+  // changes). Called by DoraEngine::RegisterTable. A genuine config change
+  // clears any persisted routing-rule override.
   Status SetDoraConfig(TableId table, uint64_t key_space, uint32_t executors);
+
+  // Record a table's live routing rule (write-through when it changes;
+  // rolled back in memory if the write fails). Called by
+  // DoraEngine::MigrateRoutingRule after the new rule is published, and by
+  // catalog replay. Empty vectors clear the override.
+  Status SetDoraRouting(TableId table, std::vector<uint64_t> boundaries,
+                        std::vector<uint32_t> executors, uint64_t version);
 
   TableInfo* GetTable(TableId id);
   TableInfo* GetTable(const std::string& name);

@@ -97,6 +97,10 @@ void CatalogStore::Serialize(const CatalogImage& img,
     PutString(&payload, t.name);
     Put64(&payload, t.key_space);
     Put32(&payload, t.dora_executors);
+    Put64(&payload, t.routing_version);
+    Put32(&payload, static_cast<uint32_t>(t.routing_executors.size()));
+    for (const uint64_t b : t.routing_boundaries) Put64(&payload, b);
+    for (const uint32_t e : t.routing_executors) Put32(&payload, e);
   }
   Put32(&payload, static_cast<uint32_t>(img.indexes.size()));
   for (const auto& i : img.indexes) {
@@ -138,7 +142,7 @@ Status CatalogStore::Deserialize(const std::vector<uint8_t>& bytes,
   (void)Get32(bytes, &off, &crc);
   (void)Get32(bytes, &off, &pad);
   if (magic != kMagic) return Status::Corruption("catalog: bad magic");
-  if (version != kFormatVersion) {
+  if (version < kMinFormatVersion || version > kFormatVersion) {
     return Status::Corruption(
         "catalog: format version mismatch (file v" + std::to_string(version) +
         ", engine v" + std::to_string(kFormatVersion) + ")");
@@ -161,6 +165,29 @@ Status CatalogStore::Deserialize(const std::vector<uint8_t>& bytes,
         !Get64(payload, &off, &t.key_space) ||
         !Get32(payload, &off, &t.dora_executors)) {
       return Truncated("table entry");
+    }
+    if (version >= 2) {
+      // v1 files predate live repartitioning: no routing section, override
+      // stays empty and the engine installs the uniform default.
+      uint32_t datasets;
+      if (!Get64(payload, &off, &t.routing_version) ||
+          !Get32(payload, &off, &datasets)) {
+        return Truncated("routing entry");
+      }
+      if (datasets > kMaxRoutingDatasets) {
+        return Status::Corruption("catalog: implausible routing dataset "
+                                  "count " + std::to_string(datasets));
+      }
+      for (uint32_t d = 0; d + 1 < datasets; ++d) {
+        uint64_t b;
+        if (!Get64(payload, &off, &b)) return Truncated("routing boundary");
+        t.routing_boundaries.push_back(b);
+      }
+      for (uint32_t d = 0; d < datasets; ++d) {
+        uint32_t e;
+        if (!Get32(payload, &off, &e)) return Truncated("routing executor");
+        t.routing_executors.push_back(e);
+      }
     }
     out->tables.push_back(std::move(t));
   }
@@ -326,6 +353,37 @@ Status ValidateImage(const CatalogImage& img) {
                                 std::to_string(t.dora_executors) +
                                 " for table '" + t.name + "'");
     }
+    // Routing override: the same shape rules SetDoraRouting enforces at
+    // write time, so the store never persists what the loader rejects.
+    if (t.routing_executors.empty()) {
+      if (!t.routing_boundaries.empty()) {
+        return Status::Corruption("catalog: routing boundaries without "
+                                  "executors for table '" + t.name + "'");
+      }
+      continue;
+    }
+    if (t.dora_executors == 0 ||
+        t.routing_executors.size() != t.routing_boundaries.size() + 1 ||
+        t.routing_executors.size() > kMaxRoutingDatasets) {
+      return Status::Corruption("catalog: malformed routing rule for table '" +
+                                t.name + "'");
+    }
+    for (size_t b = 0; b < t.routing_boundaries.size(); ++b) {
+      if (t.routing_boundaries[b] == 0 ||
+          (b > 0 && t.routing_boundaries[b] <= t.routing_boundaries[b - 1]) ||
+          (t.key_space > 0 && t.routing_boundaries[b] >= t.key_space)) {
+        return Status::Corruption(
+            "catalog: routing boundaries not strictly increasing inside the "
+            "key space for table '" + t.name + "'");
+      }
+    }
+    for (const uint32_t e : t.routing_executors) {
+      if (e >= t.dora_executors) {
+        return Status::Corruption(
+            "catalog: routing executor out of range for table '" + t.name +
+            "'");
+      }
+    }
   }
   for (size_t i = 0; i < img.indexes.size(); ++i) {
     const auto& x = img.indexes[i];
@@ -368,6 +426,11 @@ Status ReplayCatalogImage(const CatalogImage& img, Catalog* catalog) {
     if (t.dora_executors != 0) {
       DORADB_RETURN_NOT_OK(
           catalog->SetDoraConfig(id, t.key_space, t.dora_executors));
+      if (!t.routing_executors.empty()) {
+        DORADB_RETURN_NOT_OK(catalog->SetDoraRouting(
+            id, t.routing_boundaries, t.routing_executors,
+            t.routing_version));
+      }
     }
   }
   for (const auto& i : img.indexes) {

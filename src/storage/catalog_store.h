@@ -19,6 +19,10 @@
 //     u32 table_count
 //       per table:  u16 id | u16 name_len | name bytes
 //                   u64 key_space | u32 dora_executors
+//                   (v2+) u64 routing_version | u32 dataset_count
+//                         | (dataset_count-1) x u64 boundary
+//                         | dataset_count x u32 executor_of_dataset
+//                         (dataset_count == 0: no routing override)
 //     u32 index_count
 //       per index:  u16 id | u16 name_len | name bytes | u16 table_id
 //                   u8 unique | u8 secondary | u16 aux_offset | u8 aux_width
@@ -55,6 +59,11 @@ struct CatalogImage {
     std::string name;
     uint64_t key_space = 0;
     uint32_t dora_executors = 0;
+    // Live-repartitioning override (empty routing_executors = none); see
+    // TableInfo in catalog.h.
+    std::vector<uint64_t> routing_boundaries;
+    std::vector<uint32_t> routing_executors;
+    uint64_t routing_version = 0;
   };
   struct Index {
     IndexId id = 0;
@@ -71,7 +80,10 @@ struct CatalogImage {
 class CatalogStore {
  public:
   static constexpr uint64_t kMagic = 0x31544143'41524F44ull;  // "DORACAT1"
-  static constexpr uint32_t kFormatVersion = 1;
+  // v2 appends the per-table routing-rule section. Load() still accepts v1
+  // files (no routing override); Save() always writes v2.
+  static constexpr uint32_t kFormatVersion = 2;
+  static constexpr uint32_t kMinFormatVersion = 1;
   static constexpr size_t kHeaderSize = 32;
 
   // `data_dir` is created if missing; the file is `<data_dir>/catalog.db`.

@@ -7,6 +7,7 @@
 #define DORADB_WORKLOADS_TM1_TM1_H_
 
 #include <atomic>
+#include <memory>
 
 #include "dora/resource_manager.h"
 #include "workloads/common/workload.h"
@@ -91,9 +92,20 @@ class Tm1Workload : public Workload {
     uint64_t subscribers = 20000;
     uint32_t executors_per_table = 1;
     bool trace_subscriber_accesses = false;  // Fig. 10-style tracing
+    // > 0: subscriber picks are Zipf(theta)-distributed by rank, rank 1 =
+    // s_id 1 — the hot set is the contiguous low end of the key space, so
+    // one executor of a range-partitioned table soaks up the skew (the
+    // workload shape the live-repartitioning path exists for). 0 =
+    // classic TATP non-uniform pick. Bench knob: DORADB_SKEW_THETA.
+    double skew_theta = 0.0;
   };
 
-  Tm1Workload(Database* db, Config config) : db_(db), config_(config) {}
+  Tm1Workload(Database* db, Config config) : db_(db), config_(config) {
+    if (config_.skew_theta > 0.0) {
+      zipf_ = std::make_unique<ZipfGenerator>(config_.subscribers,
+                                              config_.skew_theta);
+    }
+  }
 
   std::string name() const override { return "TM1"; }
   Status Load() override;
@@ -137,11 +149,15 @@ class Tm1Workload : public Workload {
   Status FinishBaseline(Transaction* txn, Status s);
 
   uint64_t RandomSid(Rng& rng) const {
+    // ZipfGenerator::Next reads only ctor-computed members, so one shared
+    // generator serves every client thread's private Rng.
+    if (zipf_ != nullptr) return zipf_->Next(rng);
     return rng.TatpSubscriberId(config_.subscribers);
   }
 
   Database* const db_;
   const Config config_;
+  std::unique_ptr<ZipfGenerator> zipf_;
   Schema schema_;
   PlanMode plan_mode_ = PlanMode::kParallel;
   dora::PlanAdvisor advisor_;

@@ -10,6 +10,8 @@
 #ifndef DORADB_WORKLOADS_TPCB_TPCB_H_
 #define DORADB_WORKLOADS_TPCB_TPCB_H_
 
+#include <memory>
+
 #include "workloads/common/workload.h"
 
 namespace doradb {
@@ -70,9 +72,20 @@ class TpcbWorkload : public Workload {
     uint64_t accounts_per_branch = 10000;
     uint32_t account_executors = 2;
     uint32_t other_executors = 1;
+    // > 0: account picks are Zipf(theta)-distributed across the whole
+    // account space (rank 1 = a_id 1, hot set contiguous at the low end),
+    // replacing the uniform 85/15 local/remote pick; teller/branch stay
+    // uniform. Bench knob: DORADB_SKEW_THETA.
+    double skew_theta = 0.0;
   };
 
-  TpcbWorkload(Database* db, Config config) : db_(db), config_(config) {}
+  TpcbWorkload(Database* db, Config config) : db_(db), config_(config) {
+    if (config_.skew_theta > 0.0) {
+      zipf_ = std::make_unique<ZipfGenerator>(
+          config_.branches * config_.accounts_per_branch,
+          config_.skew_theta);
+    }
+  }
 
   std::string name() const override { return "TPC-B"; }
   Status Load() override;
@@ -104,6 +117,7 @@ class TpcbWorkload : public Workload {
   Database* const db_;
   const Config config_;
   Schema schema_;
+  std::unique_ptr<ZipfGenerator> zipf_;  // shared across client Rngs
 };
 
 }  // namespace tpcb

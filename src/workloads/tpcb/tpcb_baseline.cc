@@ -12,15 +12,22 @@ TpcbWorkload::Input TpcbWorkload::MakeInput(Rng& rng) const {
   in.t_id = rng.UniformInt(
       uint64_t{1}, config_.branches * config_.tellers_per_branch);
   in.b_id = (in.t_id - 1) / config_.tellers_per_branch + 1;
-  // 85% of accounts belong to the teller's branch, 15% are remote.
-  uint64_t a_branch = in.b_id;
-  if (config_.branches > 1 && rng.Percent(15)) {
-    do {
-      a_branch = rng.UniformInt(uint64_t{1}, config_.branches);
-    } while (a_branch == in.b_id);
+  if (zipf_ != nullptr) {
+    // Skewed mode: Zipf rank over the whole account space (rank 1 = a_id
+    // 1). The balance invariant does not care which branch the account
+    // belongs to, so the 85/15 locality rule is simply replaced.
+    in.a_id = zipf_->Next(rng);
+  } else {
+    // 85% of accounts belong to the teller's branch, 15% are remote.
+    uint64_t a_branch = in.b_id;
+    if (config_.branches > 1 && rng.Percent(15)) {
+      do {
+        a_branch = rng.UniformInt(uint64_t{1}, config_.branches);
+      } while (a_branch == in.b_id);
+    }
+    in.a_id = (a_branch - 1) * config_.accounts_per_branch +
+              rng.UniformInt(uint64_t{1}, config_.accounts_per_branch);
   }
-  in.a_id = (a_branch - 1) * config_.accounts_per_branch +
-            rng.UniformInt(uint64_t{1}, config_.accounts_per_branch);
   in.delta = rng.UniformInt(int64_t{-99999}, int64_t{99999});
   return in;
 }

@@ -24,6 +24,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dora/dora_engine.h"
 #include "engine/database.h"
 #include "obs/health.h"
 #include "obs/watchdog.h"
@@ -435,6 +436,123 @@ TEST(FaultChaosTest, CrashLoopNoAckedCommitLostPartitioned) {
 
 TEST(FaultChaosTest, CrashLoopNoAckedCommitLostCentral) {
   ChaosCrashLoop(LogBackendKind::kCentral, 1);
+}
+
+// --------------------- crash straddling a routing migration (satellite)
+//
+// MigrateRoutingRule publishes the new assignment in memory first and only
+// then writes it through catalog.db. A kill inside that window must leave
+// the next lifetime with EXACTLY one of the two assignments — the old one
+// when the write-through failed, the new one once it succeeded — never a
+// blend, and never at the cost of an acknowledged commit. Alternate rounds
+// make the catalog unwritable (sticky open fault) before migrating, then
+// kill and reopen.
+
+TEST(FaultChaosTest, CrashDuringMigrationAdoptsExactlyOneRule) {
+  InjectorGuard guard;
+  const std::string dir = TempFaultDir("migration_crash");
+  const Database::Options opts =
+      DurableOpts(dir, LogBackendKind::kPartitioned);
+  constexpr uint64_t kKeySpace = 1000;
+  constexpr int kRounds = 6;
+
+  Rid rid;
+  {
+    auto db = std::make_unique<Database>(opts);
+    db->log_manager()->BindThisThread(0);
+    TableId table;
+    ASSERT_TRUE(db->catalog()->CreateTable("t", &table).ok());
+    dora::DoraEngine engine(db.get());
+    engine.RegisterTable(table, kKeySpace, /*executors=*/2);
+    ASSERT_TRUE(engine.registration_status().ok())
+        << engine.registration_status().ToString();
+    auto setup = db->Begin();
+    ASSERT_TRUE(db->Insert(setup.get(), table, "base", &rid,
+                           AccessOptions::Baseline())
+                    .ok());
+    ASSERT_TRUE(db->Commit(setup.get()).ok());
+    db->SimulateKill();
+  }
+
+  // What catalog.db durably holds vs. what the last migration published
+  // in memory. They start identical (the uniform two-way assignment).
+  dora::RoutingRule persisted;
+  persisted.boundaries = {kKeySpace / 2};
+  persisted.executor_of_dataset = {0, 1};
+  persisted.version = 0;
+  dora::RoutingRule published = persisted;
+  std::string acked = "base";
+
+  for (int round = 0; round < kRounds; ++round) {
+    auto db = std::make_unique<Database>(opts);
+    db->log_manager()->BindThisThread(0);
+    ASSERT_TRUE(db->catalog_load_status().ok())
+        << db->catalog_load_status().ToString();
+    ASSERT_TRUE(db->Recover(nullptr).ok());
+    ASSERT_NE(db->catalog()->GetTable("t"), nullptr);
+    const TableId table = db->catalog()->GetTable("t")->id;
+
+    // Durability first: the previous lifetime's acked value survived.
+    std::string out;
+    ASSERT_TRUE(db->catalog()->Heap(table)->Get(rid, &out).ok());
+    ASSERT_EQ(out, acked) << "round " << round << " lost an acked commit";
+
+    dora::DoraEngine engine(db.get());
+    ASSERT_EQ(engine.RegisterFromCatalog(), 1u);
+    const auto adopted = engine.routing_of(table)->Current();
+    const bool is_old = adopted->version == persisted.version &&
+                        adopted->boundaries == persisted.boundaries;
+    const bool is_new = adopted->version == published.version &&
+                        adopted->boundaries == published.boundaries;
+    ASSERT_TRUE(is_old || is_new)
+        << "round " << round << ": adopted v" << adopted->version
+        << " matches neither the pre- nor the post-migration assignment";
+    if (published.version != persisted.version) {
+      // Last round's write-through failed: the published-but-unpersisted
+      // split must have died with the process.
+      EXPECT_TRUE(is_old) << "round " << round;
+      EXPECT_FALSE(is_new) << "round " << round;
+    }
+    engine.Start();
+
+    // One acked commit before the migration window opens.
+    const std::string value = "r" + std::to_string(round);
+    ASSERT_TRUE(CommitValue(db.get(), table, rid, value).ok());
+    acked = value;
+
+    const bool fault = round % 2 == 1;
+    if (fault) {
+      FaultPlan p;
+      p.op = FaultOp::kOpen;
+      p.mode = FaultMode::kError;
+      p.err = EIO;
+      p.sticky = true;
+      p.path_substr = "catalog.db";
+      FaultInjector::Default().Arm(p);
+    }
+    auto rule = std::make_shared<dora::RoutingRule>();
+    rule->boundaries = {round % 2 == 0 ? kKeySpace / 4
+                                       : (3 * kKeySpace) / 4};
+    rule->executor_of_dataset = {0, 1};
+    rule->version = adopted->version + 1;
+    const Status mig = engine.MigrateRoutingRule(table, rule);
+    if (fault) {
+      EXPECT_FALSE(mig.ok())
+          << "write-through must fail while catalog.db is unwritable";
+      // Publication precedes the write-through, so the new rule is live
+      // in memory all the same — the kill below is what discards it.
+      EXPECT_EQ(engine.routing_of(table)->Current()->version,
+                rule->version);
+      published = *rule;  // persisted stays at the old assignment
+    } else {
+      ASSERT_TRUE(mig.ok()) << mig.ToString();
+      persisted = *rule;
+      published = *rule;
+    }
+    FaultInjector::Default().Reset();
+    engine.Stop();
+    db->SimulateKill();
+  }
 }
 
 }  // namespace
